@@ -1,0 +1,60 @@
+//! Criterion bench for the load balancer's routing hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotweb_lb::{LoadBalancer, LoadBalancerConfig, RouteOutcome};
+
+fn make_lb(backends: usize, admission: bool) -> LoadBalancer {
+    let mut lb = LoadBalancer::new(LoadBalancerConfig {
+        admission_control: admission,
+        ..LoadBalancerConfig::default()
+    });
+    for i in 0..backends {
+        lb.add_backend_up(i % 4, 100.0 + (i % 3) as f64 * 100.0);
+    }
+    lb
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lb_route");
+    for &n in &[6usize, 24, 96] {
+        group.bench_with_input(BenchmarkId::new("stateless", n), &n, |b, &n| {
+            let mut lb = make_lb(n, false);
+            b.iter(|| {
+                if let RouteOutcome::Routed(id) = lb.route(None, 0.0) {
+                    lb.complete(id, None);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sessions_admission", n), &n, |b, &n| {
+            let mut lb = make_lb(n, true);
+            let mut s = 0u64;
+            b.iter(|| {
+                s = (s + 1) % 10_000;
+                if let RouteOutcome::Routed(id) = lb.route(Some(s), 0.0) {
+                    lb.complete(id, None);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_failover(c: &mut Criterion) {
+    c.bench_function("lb_revocation_warning_1k_sessions", |b| {
+        b.iter_with_setup(
+            || {
+                let mut lb = make_lb(8, false);
+                for s in 0..1000u64 {
+                    lb.route(Some(s), 0.0);
+                }
+                lb
+            },
+            |mut lb| {
+                std::hint::black_box(lb.revocation_warning(0, 1.0, 120.0));
+            },
+        );
+    });
+}
+
+criterion_group!(benches, bench_route, bench_failover);
+criterion_main!(benches);

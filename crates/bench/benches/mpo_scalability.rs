@@ -1,0 +1,51 @@
+//! Criterion bench for Fig. 7(b): one receding-horizon portfolio
+//! optimization, swept over markets × horizon.
+//!
+//! Run: `cargo bench -p spotweb-bench --bench mpo_scalability`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spotweb_bench::fig7::synthetic_catalog;
+use spotweb_core::{ForecastBundle, MpoOptimizer, SpotWebConfig};
+use spotweb_linalg::Matrix;
+
+fn bench_mpo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpo_optimize");
+    group.sample_size(10);
+    for &n in &[9usize, 18, 36, 72] {
+        for &h in &[2usize, 4, 10] {
+            let catalog = synthetic_catalog(n);
+            let prices: Vec<f64> = catalog
+                .markets()
+                .iter()
+                .map(|m| m.instance.on_demand_price * 0.3)
+                .collect();
+            let failures: Vec<f64> = catalog
+                .markets()
+                .iter()
+                .map(|m| m.base_revocation_prob)
+                .collect();
+            let cov = Matrix::identity(n).scaled(1e-3);
+            let forecast = ForecastBundle::flat(20_000.0, &prices, &failures, h);
+            group.bench_with_input(
+                BenchmarkId::new(format!("markets_{n}"), format!("H{h}")),
+                &(n, h),
+                |b, _| {
+                    // Warm-started solves, as in steady-state operation.
+                    let mut opt = MpoOptimizer::new(SpotWebConfig::default().with_horizon(h));
+                    let mut prev = vec![0.0; n];
+                    b.iter(|| {
+                        let d = opt
+                            .optimize(&catalog, &forecast, &cov, &prev)
+                            .expect("solves");
+                        prev = d.first().to_vec();
+                        std::hint::black_box(d.objective)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpo);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the predictor stack: per-observation cost of
+//! the spline refit (the controller pays this every interval) and
+//! multi-horizon prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spotweb_predict::{SeriesPredictor, SpotWebPredictor};
+use spotweb_workload::wikipedia_like;
+
+fn bench_observe(c: &mut Criterion) {
+    let trace = wikipedia_like(400, 3);
+    c.bench_function("spotweb_predictor_observe_refit", |b| {
+        // Warm predictor: each observe triggers a full window refit.
+        let mut p = SpotWebPredictor::new();
+        for v in &trace.values[..336] {
+            p.observe(*v);
+        }
+        let mut i = 336;
+        b.iter(|| {
+            p.observe(trace.values[i % trace.values.len()]);
+            i += 1;
+        });
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let trace = wikipedia_like(400, 4);
+    let mut p = SpotWebPredictor::new();
+    for v in &trace.values {
+        p.observe(*v);
+    }
+    for h in [1usize, 4, 10] {
+        c.bench_function(&format!("spotweb_predictor_predict_h{h}"), |b| {
+            b.iter(|| std::hint::black_box(p.predict(h)));
+        });
+    }
+}
+
+criterion_group!(benches, bench_observe, bench_predict);
+criterion_main!(benches);

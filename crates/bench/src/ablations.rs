@@ -1,0 +1,228 @@
+//! Ablations beyond the paper's figures.
+//!
+//! DESIGN.md commits to four ablation sweeps that probe SpotWeb's
+//! design choices:
+//!
+//! * **churn** — the transaction-cost weight γ (0 = the paper's bare
+//!   formulation; positive values damp portfolio churn),
+//! * **alpha** — the risk-aversion parameter (diversification dial),
+//! * **padding** — the confidence level of the over-provisioning
+//!   (90/95/99/99.9%),
+//! * **horizon** — look-ahead beyond the paper's 10.
+
+use serde::Serialize;
+use spotweb_core::evaluate::EvalOptions;
+use spotweb_core::{simulate_costs, SpotWebConfig, SpotWebPolicy};
+use spotweb_core::risk::herfindahl;
+use spotweb_market::Catalog;
+use spotweb_predict::confidence::ConfidenceLevel;
+use spotweb_predict::SpotWebPredictor;
+use spotweb_workload::wikipedia_like;
+
+/// One ablation row.
+#[derive(Debug, Clone, Serialize)]
+pub struct AblationRow {
+    /// Value of the swept parameter.
+    pub value: f64,
+    /// Total cost ($).
+    pub total_cost: f64,
+    /// Penalty share of the total cost.
+    pub penalty_fraction: f64,
+    /// Drop fraction.
+    pub drop_fraction: f64,
+    /// Mean fleet-churn per interval (servers started+stopped).
+    pub mean_churn: f64,
+    /// Mean portfolio concentration (Herfindahl over fleet capacity).
+    pub mean_hhi: f64,
+}
+
+/// An ablation sweep result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Ablation {
+    /// Which parameter was swept.
+    pub parameter: String,
+    /// Rows, in sweep order.
+    pub rows: Vec<AblationRow>,
+}
+
+fn evaluate(config: SpotWebConfig, level: Option<ConfidenceLevel>, intervals: usize, seed: u64) -> AblationRow {
+    let n = 9;
+    let catalog = Catalog::ec2_subset(n);
+    let trace = wikipedia_like(intervals + 16, seed).with_mean(20_000.0);
+    let options = EvalOptions {
+        intervals,
+        seed,
+        ..EvalOptions::default()
+    };
+    let mut policy = match level {
+        Some(l) => SpotWebPolicy::with_predictor(
+            config,
+            n,
+            Box::new(SpotWebPredictor::with_level(l)),
+        ),
+        None => SpotWebPolicy::new(config, n),
+    };
+    let report = simulate_costs(&mut policy, &catalog, &trace, &options);
+
+    // Churn: per-market absolute fleet delta between intervals.
+    let mut churn_total = 0.0;
+    for w in report.records.windows(2) {
+        churn_total += w[0]
+            .fleet
+            .iter()
+            .zip(&w[1].fleet)
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .sum::<f64>();
+    }
+    let mean_churn = churn_total / (report.records.len().max(2) - 1) as f64;
+
+    // Concentration: HHI over capacity shares, averaged.
+    let mut hhi_sum = 0.0;
+    for rec in &report.records {
+        let caps: Vec<f64> = rec
+            .fleet
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * catalog.market(i).capacity_rps())
+            .collect();
+        hhi_sum += herfindahl(&caps);
+    }
+    AblationRow {
+        value: 0.0, // filled by caller
+        total_cost: report.total_cost(),
+        penalty_fraction: if report.total_cost() > 0.0 {
+            report.penalty_cost / report.total_cost()
+        } else {
+            0.0
+        },
+        drop_fraction: report.drop_fraction(),
+        mean_churn,
+        mean_hhi: hhi_sum / report.records.len().max(1) as f64,
+    }
+}
+
+/// Sweep the churn weight γ.
+pub fn churn(gammas: &[f64], intervals: usize, seed: u64) -> Ablation {
+    let rows = gammas
+        .iter()
+        .map(|&g| {
+            let mut row = evaluate(
+                SpotWebConfig {
+                    churn_gamma: g,
+                    ..SpotWebConfig::default()
+                },
+                None,
+                intervals,
+                seed,
+            );
+            row.value = g;
+            row
+        })
+        .collect();
+    Ablation {
+        parameter: "churn_gamma".into(),
+        rows,
+    }
+}
+
+/// Sweep risk aversion α.
+pub fn alpha(alphas: &[f64], intervals: usize, seed: u64) -> Ablation {
+    let rows = alphas
+        .iter()
+        .map(|&a| {
+            let mut row = evaluate(
+                SpotWebConfig {
+                    alpha: a,
+                    ..SpotWebConfig::default()
+                },
+                None,
+                intervals,
+                seed,
+            );
+            row.value = a;
+            row
+        })
+        .collect();
+    Ablation {
+        parameter: "alpha".into(),
+        rows,
+    }
+}
+
+/// Sweep the CI padding level.
+pub fn padding(intervals: usize, seed: u64) -> Ablation {
+    let levels = [
+        (90.0, ConfidenceLevel::P90),
+        (95.0, ConfidenceLevel::P95),
+        (99.0, ConfidenceLevel::P99),
+        (99.9, ConfidenceLevel::P999),
+    ];
+    let rows = levels
+        .iter()
+        .map(|&(v, l)| {
+            let mut row = evaluate(SpotWebConfig::default(), Some(l), intervals, seed);
+            row.value = v;
+            row
+        })
+        .collect();
+    Ablation {
+        parameter: "ci_padding".into(),
+        rows,
+    }
+}
+
+/// Sweep the look-ahead horizon (beyond the paper's 10).
+pub fn horizon(horizons: &[usize], intervals: usize, seed: u64) -> Ablation {
+    let rows = horizons
+        .iter()
+        .map(|&h| {
+            let mut row = evaluate(
+                SpotWebConfig::default().with_horizon(h),
+                None,
+                intervals,
+                seed,
+            );
+            row.value = h as f64;
+            row
+        })
+        .collect();
+    Ablation {
+        parameter: "horizon".into(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_penalty_reduces_churn() {
+        let a = churn(&[0.0, 0.5], 48, 3);
+        assert!(
+            a.rows[1].mean_churn <= a.rows[0].mean_churn + 1e-9,
+            "γ=0.5 churn {} vs γ=0 churn {}",
+            a.rows[1].mean_churn,
+            a.rows[0].mean_churn
+        );
+    }
+
+    #[test]
+    fn higher_alpha_diversifies() {
+        let a = alpha(&[0.0, 100.0], 48, 4);
+        assert!(
+            a.rows[1].mean_hhi <= a.rows[0].mean_hhi + 0.05,
+            "α=100 HHI {} vs α=0 HHI {}",
+            a.rows[1].mean_hhi,
+            a.rows[0].mean_hhi
+        );
+    }
+
+    #[test]
+    fn more_padding_fewer_drops() {
+        let a = padding(48, 5);
+        let p90 = &a.rows[0];
+        let p999 = &a.rows[3];
+        assert!(p999.drop_fraction <= p90.drop_fraction + 1e-9);
+    }
+}

@@ -1,0 +1,318 @@
+//! Regenerate every table and figure of the SpotWeb paper (§6).
+//!
+//! ```text
+//! figures <command> [--seed N] [--intervals N] [--workload wikipedia|vod]
+//!         [--summary]
+//!
+//! commands:
+//!   fig3        workload traces (Fig. 3a/3b)
+//!   fig4a       failover latency, SpotWeb vs vanilla LB (Fig. 4a)
+//!   fig4bcd     predictor error histograms (Fig. 4b–d)
+//!   fig5        price awareness: prices + allocations (Fig. 5a/5c/5d)
+//!   fig6a       vs constant portfolio + autoscaler (Fig. 6a)
+//!   fig6b       vs ExoSphere-in-a-loop, market sweep (Fig. 6b)
+//!   fig7a       savings vs prediction error (Fig. 7a)
+//!   fig7b       optimizer scalability (Fig. 7b)
+//!   ablations   churn γ / risk α / CI padding / horizon sweeps
+//!   discussion  §7 provider portability (EC2 / GCP / Azure profiles)
+//!   all         everything above
+//! ```
+//!
+//! Default output is pretty-printed JSON (machine-readable series);
+//! `--summary` prints the headline numbers as text — the rows quoted in
+//! EXPERIMENTS.md.
+
+use std::process::ExitCode;
+
+use spotweb_bench::fig6::Fig6bWorkload;
+use spotweb_bench::{
+    ablations, discussion, fig3, fig4, fig5, fig6, fig7, DEFAULT_SEED, THREE_WEEKS_HOURS,
+};
+
+struct Args {
+    command: String,
+    seed: u64,
+    intervals: usize,
+    workload: Fig6bWorkload,
+    summary: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or("missing command")?;
+    let mut out = Args {
+        command,
+        seed: DEFAULT_SEED,
+        intervals: THREE_WEEKS_HOURS,
+        workload: Fig6bWorkload::Wikipedia,
+        summary: false,
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--intervals" => {
+                out.intervals = args
+                    .next()
+                    .ok_or("--intervals needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad intervals: {e}"))?;
+            }
+            "--workload" => {
+                out.workload = match args.next().as_deref() {
+                    Some("wikipedia") => Fig6bWorkload::Wikipedia,
+                    Some("vod") => Fig6bWorkload::Vod,
+                    other => return Err(format!("bad workload {other:?}")),
+                };
+            }
+            "--summary" => out.summary = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn emit<T: serde::Serialize>(value: &T, summary: Option<String>, want_summary: bool) {
+    if want_summary {
+        if let Some(s) = summary {
+            println!("{s}");
+            return;
+        }
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(value).expect("figure results serialize")
+    );
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let seed = args.seed;
+    match args.command.as_str() {
+        "fig3" => {
+            let f = fig3::run(args.intervals, seed);
+            let s = format!(
+                "Fig3  wikipedia: mean {:.0} rps, peak/mean {:.2}, spikes {}, diurnal-ac {:.2}\n\
+                 Fig3  vod:       mean {:.0} rps, peak/mean {:.2}, spikes {}, diurnal-ac {:.2}",
+                f.wikipedia.mean,
+                f.wikipedia.peak_to_mean,
+                f.wikipedia.large_jumps,
+                f.wikipedia.diurnal_autocorrelation,
+                f.vod.mean,
+                f.vod.peak_to_mean,
+                f.vod.large_jumps,
+                f.vod.diurnal_autocorrelation
+            );
+            emit(&f, Some(s), args.summary);
+        }
+        "fig4a" => {
+            let f = fig4::run_fig4a(seed);
+            let s = format!(
+                "Fig4a spotweb: drop {:.2}%, p90 {:.0} ms, migrated {}, lost {}\n\
+                 Fig4a vanilla: drop {:.2}%, p90 {:.0} ms, migrated {}, lost {}",
+                100.0 * f.spotweb.drop_fraction,
+                1000.0 * f.spotweb.p90,
+                f.spotweb.migrated_sessions,
+                f.spotweb.lost_sessions,
+                100.0 * f.vanilla.drop_fraction,
+                1000.0 * f.vanilla.p90,
+                f.vanilla.migrated_sessions,
+                f.vanilla.lost_sessions
+            );
+            emit(&f, Some(s), args.summary);
+        }
+        "fig4bcd" => {
+            let f = fig4::run_fig4bcd(seed);
+            let s = format!(
+                "Fig4c baseline: mean-over {:.1}%, max-over {:.1}%, max-under {:.1}%, under-frac {:.1}%\n\
+                 Fig4d spotweb:  mean-over {:.1}%, max-over {:.1}%, max-under {:.1}%, under-frac {:.1}%",
+                100.0 * f.baseline.mean_over,
+                100.0 * f.baseline.max_over,
+                100.0 * f.baseline.max_under,
+                100.0 * f.baseline.under_fraction,
+                100.0 * f.spotweb.mean_over,
+                100.0 * f.spotweb.max_over,
+                100.0 * f.spotweb.max_under,
+                100.0 * f.spotweb.under_fraction
+            );
+            emit(&f, Some(s), args.summary);
+        }
+        "fig5" => {
+            let f = fig5::run(args.intervals.min(120), seed);
+            let s = format!(
+                "Fig5  constant-portfolio cost ${:.2}, MPO cost ${:.2}, savings {:.1}%",
+                f.constant_cost,
+                f.mpo_cost,
+                100.0 * (1.0 - f.mpo_cost / f.constant_cost)
+            );
+            emit(&f, Some(s), args.summary);
+        }
+        "fig6a" => {
+            let f = fig6::run_fig6a(args.intervals, seed);
+            let s = f
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "Fig6a H={}: spotweb ${:.2} vs constant ${:.2} → savings {:.1}%",
+                        r.horizon,
+                        r.spotweb_cost,
+                        r.constant_cost,
+                        100.0 * r.savings
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            emit(&f, Some(s), args.summary);
+        }
+        "fig6b" => {
+            let f = fig6::run_fig6b(
+                args.workload,
+                &[9, 18, 36],
+                &[2, 4, 6, 10],
+                args.intervals,
+                seed,
+            );
+            let s = f
+                .cells
+                .iter()
+                .map(|c| {
+                    format!(
+                        "Fig6b {} markets, H={}: spotweb ${:.2} vs exosphere ${:.2} → savings {:.1}%",
+                        c.markets,
+                        c.horizon,
+                        c.spotweb_cost,
+                        c.exosphere_cost,
+                        100.0 * c.savings
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            emit(&f, Some(s), args.summary);
+        }
+        "fig7a" => {
+            let f = fig7::run_fig7a(&[0.0, 0.05, 0.1, 0.2, 0.3], args.intervals, seed);
+            let s = f
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "Fig7a error ±{:.0}%: cost ${:.2} → savings {:.1}%",
+                        100.0 * r.error_level,
+                        r.spotweb_cost,
+                        100.0 * r.savings
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            emit(&f, Some(s), args.summary);
+        }
+        "fig7b" => {
+            let f = fig7::run_fig7b(&[9, 18, 36, 72, 144], &[2, 4, 6, 10], 7, seed);
+            let s = f
+                .cells
+                .iter()
+                .map(|c| {
+                    format!(
+                        "Fig7b {} markets × H={} ({} vars): median {:.1} ms (min {:.1}, max {:.1})",
+                        c.markets,
+                        c.horizon,
+                        c.variables,
+                        1000.0 * c.median_secs,
+                        1000.0 * c.min_secs,
+                        1000.0 * c.max_secs
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            emit(&f, Some(s), args.summary);
+        }
+        "ablations" => {
+            let intervals = args.intervals.min(168);
+            let results = vec![
+                ablations::churn(&[0.0, 0.05, 0.2, 0.5], intervals, seed),
+                ablations::alpha(&[0.0, 1.0, 5.0, 25.0, 100.0], intervals, seed),
+                ablations::padding(intervals, seed),
+                ablations::horizon(&[1, 2, 4, 8, 16], intervals, seed),
+            ];
+            let s = results
+                .iter()
+                .flat_map(|a| {
+                    a.rows.iter().map(move |r| {
+                        format!(
+                            "Ablation {} = {:>6.2}: cost ${:.2}, drops {:.3}%, churn {:.2}, HHI {:.2}",
+                            a.parameter,
+                            r.value,
+                            r.total_cost,
+                            100.0 * r.drop_fraction,
+                            r.mean_churn,
+                            r.mean_hhi
+                        )
+                    })
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            emit(&results, Some(s), args.summary);
+        }
+        "discussion" => {
+            let d = discussion::run(args.intervals.min(168), seed);
+            let s = d
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "Discussion {:<18} spotweb ${:.2} | exosphere ${:.2} ({:+.1}%) | on-demand ${:.2} ({:+.1}%) | drops {:.3}%",
+                        r.provider,
+                        r.spotweb_cost,
+                        r.exosphere_cost,
+                        100.0 * r.savings_vs_exosphere,
+                        r.on_demand_cost,
+                        100.0 * r.savings_vs_on_demand,
+                        100.0 * r.spotweb_drop_fraction
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            emit(&d, Some(s), args.summary);
+        }
+        "all" => {
+            for cmd in [
+                "fig3", "fig4a", "fig4bcd", "fig5", "fig6a", "fig6b", "fig7a", "fig7b",
+                "ablations", "discussion",
+            ] {
+                let sub = Args {
+                    command: cmd.to_string(),
+                    seed: args.seed,
+                    intervals: args.intervals,
+                    workload: args.workload,
+                    summary: args.summary,
+                };
+                eprintln!("=== {cmd} ===");
+                run(&sub)?;
+            }
+        }
+        other => return Err(format!("unknown command {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--summary]");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

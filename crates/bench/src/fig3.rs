@@ -1,0 +1,79 @@
+//! Figure 3 — the workload traces.
+//!
+//! The paper plots three weeks of (a) English-Wikipedia and (b) TV4
+//! VoD request rates. We regenerate the synthetic equivalents and
+//! report both the hourly series and the summary statistics that show
+//! the two traces' defining difference: Wikipedia is smooth and
+//! diurnal, VoD is prime-time-skewed with hard spikes.
+
+use serde::Serialize;
+use spotweb_workload::stats::{autocorrelation, TraceStats};
+use spotweb_workload::{vod_like, wikipedia_like, Trace};
+
+/// One trace's result row.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceSummary {
+    /// Trace name.
+    pub name: String,
+    /// Hourly request rates (req/s).
+    pub series: Vec<f64>,
+    /// Mean rate.
+    pub mean: f64,
+    /// Peak rate.
+    pub peak: f64,
+    /// Peak-to-mean ratio.
+    pub peak_to_mean: f64,
+    /// Hour-over-hour jumps > 50% (spike count).
+    pub large_jumps: usize,
+    /// Lag-24 autocorrelation (diurnality strength).
+    pub diurnal_autocorrelation: f64,
+}
+
+fn summarize(name: &str, t: &Trace) -> TraceSummary {
+    let s = TraceStats::of(t);
+    TraceSummary {
+        name: name.to_string(),
+        series: t.values.clone(),
+        mean: s.mean,
+        peak: s.max,
+        peak_to_mean: s.peak_to_mean,
+        large_jumps: s.large_jumps,
+        diurnal_autocorrelation: autocorrelation(&t.values, 24),
+    }
+}
+
+/// Output of the Fig. 3 harness.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3 {
+    /// Fig. 3(a): Wikipedia-like trace.
+    pub wikipedia: TraceSummary,
+    /// Fig. 3(b): VoD-like trace.
+    pub vod: TraceSummary,
+}
+
+/// Generate both traces over `hours` at the given seed.
+pub fn run(hours: usize, seed: u64) -> Fig3 {
+    let wiki = wikipedia_like(hours, seed);
+    let vod = vod_like(hours, seed);
+    Fig3 {
+        wikipedia: summarize("wikipedia", &wiki),
+        vod: summarize("vod", &vod),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_have_paper_shape() {
+        let f = run(crate::THREE_WEEKS_HOURS, crate::DEFAULT_SEED);
+        assert_eq!(f.wikipedia.series.len(), 504);
+        // Wikipedia: smooth, strongly diurnal, few spikes.
+        assert!(f.wikipedia.diurnal_autocorrelation > 0.7);
+        assert!(f.wikipedia.large_jumps < 5);
+        // VoD: spikier, higher peak-to-mean.
+        assert!(f.vod.large_jumps > f.wikipedia.large_jumps);
+        assert!(f.vod.peak_to_mean > f.wikipedia.peak_to_mean);
+    }
+}

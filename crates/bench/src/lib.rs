@@ -1,0 +1,35 @@
+//! SpotWeb benchmark harness.
+//!
+//! One module per figure/table of the paper's evaluation (§6). Each
+//! module exposes a function that *runs the experiment* and returns a
+//! serializable result struct; the `figures` binary prints them as
+//! JSON (or a human-readable table). EXPERIMENTS.md records the
+//! paper-vs-measured comparison for every entry.
+//!
+//! | module | regenerates |
+//! |---|---|
+//! | [`fig3`]  | Fig. 3(a)/(b) — workload traces & summary stats |
+//! | [`fig4`]  | Fig. 4(a) — failover latency; Fig. 4(b–d) — predictor error histograms |
+//! | [`fig5`]  | Fig. 5(a,c,d) — price dynamics & allocations over time |
+//! | [`fig6`]  | Fig. 6(a) — vs constant portfolio; Fig. 6(b) — vs ExoSphere-in-a-loop |
+//! | [`fig7`]  | Fig. 7(a) — savings vs prediction error; Fig. 7(b) — optimizer scalability |
+//! | [`ablations`] | beyond-the-paper sweeps: churn γ, risk α, CI level, horizon |
+//! | [`discussion`] | §7 provider portability: EC2 vs GCP vs Azure profiles |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod discussion;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+
+/// Default seed used across the harness so every figure is
+/// reproducible end-to-end.
+pub const DEFAULT_SEED: u64 = 20190622; // HPDC'19 opening day
+
+/// Three weeks of hourly samples — the paper's trace length.
+pub const THREE_WEEKS_HOURS: usize = 21 * 24;

@@ -1,0 +1,592 @@
+//! Provisioning policies: SpotWeb and the baselines it is evaluated
+//! against (§6).
+//!
+//! A [`Policy`] is called once per decision interval with the latest
+//! observations and returns the fleet (server count per market) to run
+//! for the *next* interval. Implementations:
+//!
+//! * [`SpotWebPolicy`] — MPO + SpotWeb predictor (or oracle forecasts).
+//! * [`ExoSpherePolicy`] — "ExoSphere in a loop": SPO re-run every
+//!   interval on current observations (Fig. 6(b) baseline).
+//! * [`ConstantPortfolioPolicy`] — portfolio frozen after a settling
+//!   period, thereafter only the *size* scales with load (Fig. 5(c)/6(a)
+//!   baseline).
+//! * [`OnDemandPolicy`] — conventional on-demand provisioning (the
+//!   "up to 90% savings" comparison of §8).
+
+use spotweb_linalg::Matrix;
+use spotweb_market::Catalog;
+use spotweb_predict::price::MeanRevertingPricePredictor;
+use spotweb_predict::{SeriesPredictor, SpotWebPredictor};
+
+use crate::allocation::to_server_counts;
+use crate::config::SpotWebConfig;
+use crate::forecast::ForecastBundle;
+use crate::mpo::MpoOptimizer;
+use crate::spo::SpoOptimizer;
+
+/// Oracle view of the true future (used when the experiment grants
+/// perfect predictions, as in Figs. 5 and 6(a)).
+#[derive(Debug, Clone)]
+pub struct OracleView {
+    /// True workload for the next intervals (`[0]` = next).
+    pub workload: Vec<f64>,
+    /// True per-market prices for the next intervals.
+    pub prices: Vec<Vec<f64>>,
+}
+
+/// Everything a policy may look at when deciding.
+#[derive(Debug, Clone)]
+pub struct PolicyObservation<'a> {
+    /// Index of the current decision interval.
+    pub interval: usize,
+    /// Arrival rate observed over the current interval (req/s).
+    pub current_workload: f64,
+    /// Current $/hour price per market.
+    pub prices: &'a [f64],
+    /// Current revocation probability per market.
+    pub failure_probs: &'a [f64],
+    /// Revocation covariance estimate `M`.
+    pub covariance: &'a Matrix,
+    /// Perfect future knowledge, when the experiment provides it.
+    pub oracle: Option<&'a OracleView>,
+}
+
+/// A provisioning policy.
+pub trait Policy {
+    /// Short name for reports.
+    fn name(&self) -> &str;
+
+    /// Decide the fleet for the next interval.
+    fn decide(&mut self, catalog: &Catalog, obs: &PolicyObservation<'_>) -> Vec<u32>;
+}
+
+/// Price-predictor window for the deployable configuration (hours).
+const PRICE_WINDOW: usize = 48;
+
+/// The SpotWeb policy: multi-period optimization over forecast bundles.
+pub struct SpotWebPolicy {
+    optimizer: MpoOptimizer,
+    workload_predictor: Box<dyn SeriesPredictor + Send>,
+    /// Per-market mean-reverting price predictors (§4.2: "if a price
+    /// predictor is available, priceᵢₜ will vary over the horizon H").
+    price_predictors: Vec<MeanRevertingPricePredictor>,
+    /// Disable to fall back to flat (reactive) price forecasts.
+    use_price_prediction: bool,
+    prev_allocation: Vec<f64>,
+    name: String,
+}
+
+impl SpotWebPolicy {
+    /// Standard configuration: SpotWeb workload predictor (spline + AR
+    /// + 99% CI) and per-market mean-reverting price predictors.
+    pub fn new(config: SpotWebConfig, markets: usize) -> Self {
+        Self::with_predictor(config, markets, Box::new(SpotWebPredictor::new()))
+    }
+
+    /// Custom workload predictor (ablations, Fig. 7(a) noise injection).
+    pub fn with_predictor(
+        config: SpotWebConfig,
+        markets: usize,
+        predictor: Box<dyn SeriesPredictor + Send>,
+    ) -> Self {
+        let h = config.horizon;
+        SpotWebPolicy {
+            optimizer: MpoOptimizer::new(config),
+            workload_predictor: predictor,
+            price_predictors: (0..markets)
+                .map(|_| MeanRevertingPricePredictor::new(PRICE_WINDOW))
+                .collect(),
+            use_price_prediction: true,
+            prev_allocation: vec![0.0; markets],
+            name: format!("spotweb(H={h})"),
+        }
+    }
+
+    /// Turn per-market price prediction off (flat-at-current forecasts).
+    pub fn without_price_prediction(mut self) -> Self {
+        self.use_price_prediction = false;
+        self
+    }
+
+    /// The executed allocation of the last decision.
+    pub fn last_allocation(&self) -> &[f64] {
+        &self.prev_allocation
+    }
+}
+
+impl Policy for SpotWebPolicy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, catalog: &Catalog, obs: &PolicyObservation<'_>) -> Vec<u32> {
+        let h = self.optimizer.config().horizon;
+        self.workload_predictor.observe(obs.current_workload);
+        for (p, &price) in self.price_predictors.iter_mut().zip(obs.prices) {
+            p.observe(price);
+        }
+        let forecast = match obs.oracle {
+            Some(view) => {
+                ForecastBundle::oracle(&view.workload, &view.prices, obs.failure_probs, h)
+            }
+            None => {
+                let workload = self.workload_predictor.predict(h);
+                let prices = if self.use_price_prediction {
+                    // τ-major transpose of per-market forecasts.
+                    let per_market: Vec<Vec<f64>> =
+                        self.price_predictors.iter().map(|p| p.predict(h)).collect();
+                    (0..h)
+                        .map(|tau| per_market.iter().map(|f| f[tau]).collect())
+                        .collect()
+                } else {
+                    vec![obs.prices.to_vec(); h]
+                };
+                ForecastBundle {
+                    workload,
+                    prices,
+                    failures: vec![obs.failure_probs.to_vec(); h],
+                }
+            }
+        };
+        let min_alloc = self.optimizer.config().min_allocation;
+        match self
+            .optimizer
+            .optimize(catalog, &forecast, obs.covariance, &self.prev_allocation)
+        {
+            Ok(decision) => {
+                self.prev_allocation = decision.first().to_vec();
+                to_server_counts(catalog, decision.first(), forecast.workload[0], min_alloc)
+            }
+            // On solver failure keep the previous fleet (fail static,
+            // never fail empty).
+            Err(_) => to_server_counts(
+                catalog,
+                &self.prev_allocation,
+                forecast.workload[0],
+                min_alloc,
+            ),
+        }
+    }
+}
+
+/// ExoSphere re-run every interval: single-period, reactive inputs.
+pub struct ExoSpherePolicy {
+    optimizer: SpoOptimizer,
+    min_allocation: f64,
+    last_allocation: Vec<f64>,
+}
+
+impl ExoSpherePolicy {
+    /// Build with the shared config (horizon/churn are ignored by SPO).
+    pub fn new(config: SpotWebConfig, markets: usize) -> Self {
+        let min_allocation = config.min_allocation;
+        ExoSpherePolicy {
+            optimizer: SpoOptimizer::new(config),
+            min_allocation,
+            last_allocation: vec![0.0; markets],
+        }
+    }
+}
+
+impl Policy for ExoSpherePolicy {
+    fn name(&self) -> &str {
+        "exosphere-loop"
+    }
+
+    fn decide(&mut self, catalog: &Catalog, obs: &PolicyObservation<'_>) -> Vec<u32> {
+        match self.optimizer.optimize(
+            catalog,
+            obs.current_workload,
+            obs.prices,
+            obs.failure_probs,
+            obs.covariance,
+        ) {
+            Ok(decision) => {
+                self.last_allocation = decision.first().to_vec();
+                to_server_counts(
+                    catalog,
+                    decision.first(),
+                    obs.current_workload,
+                    self.min_allocation,
+                )
+            }
+            Err(_) => to_server_counts(
+                catalog,
+                &self.last_allocation,
+                obs.current_workload,
+                self.min_allocation,
+            ),
+        }
+    }
+}
+
+/// Constant portfolio + autoscaler: portfolio weights frozen at
+/// `fix_at_interval`; afterwards only the fleet size tracks the load
+/// (using the oracle's next-interval workload when available — the
+/// paper's "oracle auto-scaler").
+pub struct ConstantPortfolioPolicy {
+    optimizer: SpoOptimizer,
+    fix_at_interval: usize,
+    frozen_weights: Option<Vec<f64>>,
+    min_allocation: f64,
+    last_allocation: Vec<f64>,
+}
+
+impl ConstantPortfolioPolicy {
+    /// Freeze the portfolio after `fix_at_interval` decisions (the
+    /// paper freezes after 2 hours).
+    pub fn new(config: SpotWebConfig, markets: usize, fix_at_interval: usize) -> Self {
+        let min_allocation = config.min_allocation;
+        ConstantPortfolioPolicy {
+            optimizer: SpoOptimizer::new(config),
+            fix_at_interval,
+            frozen_weights: None,
+            min_allocation,
+            last_allocation: vec![0.0; markets],
+        }
+    }
+
+    /// The frozen weights, once set.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.frozen_weights.as_deref()
+    }
+}
+
+impl Policy for ConstantPortfolioPolicy {
+    fn name(&self) -> &str {
+        "constant-portfolio"
+    }
+
+    fn decide(&mut self, catalog: &Catalog, obs: &PolicyObservation<'_>) -> Vec<u32> {
+        // Next-interval target: oracle if present, else reactive.
+        let lambda_next = obs
+            .oracle
+            .and_then(|v| v.workload.first().copied())
+            .unwrap_or(obs.current_workload);
+
+        if let Some(weights) = &self.frozen_weights {
+            return to_server_counts(catalog, weights, lambda_next, self.min_allocation);
+        }
+        // Settling phase: behave like SPO; freeze at the configured step.
+        let counts = match self.optimizer.optimize(
+            catalog,
+            obs.current_workload,
+            obs.prices,
+            obs.failure_probs,
+            obs.covariance,
+        ) {
+            Ok(decision) => {
+                self.last_allocation = decision.first().to_vec();
+                to_server_counts(
+                    catalog,
+                    decision.first(),
+                    lambda_next,
+                    self.min_allocation,
+                )
+            }
+            Err(_) => to_server_counts(
+                catalog,
+                &self.last_allocation,
+                lambda_next,
+                self.min_allocation,
+            ),
+        };
+        if obs.interval + 1 >= self.fix_at_interval {
+            // Normalize the allocation into weights summing to A_min-ish
+            // shape; sizes rescale with λ afterwards.
+            let total: f64 = self.last_allocation.iter().sum();
+            if total > 0.0 {
+                self.frozen_weights = Some(self.last_allocation.clone());
+            }
+        }
+        counts
+    }
+}
+
+/// Qu et al. (JNCA'16) style baseline: heterogeneous spot servers with
+/// over-provisioning driven by a *user-specified* number of concurrent
+/// market failures to tolerate (Table 1's "indirect" SLO-awareness).
+///
+/// The policy spreads the load evenly over the `k_spread` cheapest
+/// per-request markets and then adds enough extra capacity that losing
+/// any `fault_tolerance` of those markets simultaneously still leaves
+/// the full workload covered — the fixed-threshold alternative to
+/// SpotWeb's probability-driven provisioning.
+pub struct QuThresholdPolicy {
+    /// Number of markets the load is spread across.
+    pub k_spread: usize,
+    /// Number of concurrent market failures to survive.
+    pub fault_tolerance: usize,
+    min_allocation: f64,
+}
+
+impl QuThresholdPolicy {
+    /// Spread across `k_spread` markets, tolerate `fault_tolerance`
+    /// concurrent market losses (must be < `k_spread`).
+    pub fn new(k_spread: usize, fault_tolerance: usize) -> Self {
+        assert!(k_spread >= 1, "need at least one market");
+        assert!(
+            fault_tolerance < k_spread,
+            "cannot tolerate losing every market used"
+        );
+        QuThresholdPolicy {
+            k_spread,
+            fault_tolerance,
+            min_allocation: 1e-3,
+        }
+    }
+}
+
+impl Policy for QuThresholdPolicy {
+    fn name(&self) -> &str {
+        "qu-threshold"
+    }
+
+    fn decide(&mut self, catalog: &Catalog, obs: &PolicyObservation<'_>) -> Vec<u32> {
+        let lambda = obs
+            .oracle
+            .and_then(|v| v.workload.first().copied())
+            .unwrap_or(obs.current_workload);
+        // Rank markets by current per-request price.
+        let mut ranked: Vec<usize> = (0..catalog.len()).collect();
+        ranked.sort_by(|&a, &b| {
+            let pa = obs.prices[a] / catalog.market(a).capacity_rps();
+            let pb = obs.prices[b] / catalog.market(b).capacity_rps();
+            pa.partial_cmp(&pb).expect("finite prices")
+        });
+        let k = self.k_spread.min(catalog.len());
+        let chosen = &ranked[..k];
+        // Even spread, inflated so any `fault_tolerance` markets can
+        // vanish: surviving k − f markets must cover λ.
+        let survivors = (k - self.fault_tolerance.min(k - 1)) as f64;
+        let per_market_share = 1.0 / survivors;
+        let mut alloc = vec![0.0; catalog.len()];
+        for &m in chosen {
+            alloc[m] = per_market_share;
+        }
+        to_server_counts(catalog, &alloc, lambda, self.min_allocation)
+    }
+}
+
+/// Conventional on-demand provisioning: cheapest-per-request on-demand
+/// configuration, scaled to the load (reactive or oracle).
+pub struct OnDemandPolicy {
+    /// Head-room multiplier applied to the target rate (on-demand
+    /// deployments over-provision too; 1.2 is a generous-but-typical
+    /// utilization target of ~83%).
+    pub headroom: f64,
+}
+
+impl OnDemandPolicy {
+    /// Default 20% headroom.
+    pub fn new() -> Self {
+        OnDemandPolicy { headroom: 1.2 }
+    }
+}
+
+impl Default for OnDemandPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for OnDemandPolicy {
+    fn name(&self) -> &str {
+        "on-demand"
+    }
+
+    fn decide(&mut self, catalog: &Catalog, obs: &PolicyObservation<'_>) -> Vec<u32> {
+        let lambda = obs
+            .oracle
+            .and_then(|v| v.workload.first().copied())
+            .unwrap_or(obs.current_workload)
+            * self.headroom;
+        // Cheapest per-request among *on-demand* markets; when the
+        // catalog is spot-only (some experiments), fall back to any
+        // market but note the billed price will then be the spot price.
+        let candidates: Vec<_> = catalog
+            .markets()
+            .iter()
+            .filter(|m| m.kind == spotweb_market::MarketKind::OnDemand)
+            .collect();
+        let pool: Vec<_> = if candidates.is_empty() {
+            catalog.markets().iter().collect()
+        } else {
+            candidates
+        };
+        let best = pool
+            .into_iter()
+            .min_by(|a, b| {
+                a.instance
+                    .on_demand_cost_per_request()
+                    .partial_cmp(&b.instance.on_demand_cost_per_request())
+                    .expect("finite prices")
+            })
+            .expect("non-empty catalog");
+        let mut counts = vec![0u32; catalog.len()];
+        counts[best.id] = (lambda / best.capacity_rps()).ceil() as u32;
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotweb_market::Catalog;
+
+    fn obs_fixture<'a>(
+        prices: &'a [f64],
+        failures: &'a [f64],
+        cov: &'a Matrix,
+    ) -> PolicyObservation<'a> {
+        PolicyObservation {
+            interval: 0,
+            current_workload: 1000.0,
+            prices,
+            failure_probs: failures,
+            covariance: cov,
+            oracle: None,
+        }
+    }
+
+    #[test]
+    fn spotweb_policy_provisions_enough_capacity() {
+        let catalog = Catalog::fig5_three_markets();
+        let prices = [2.0, 1.0, 1.2];
+        let failures = [0.04; 3];
+        let cov = Matrix::identity(3).scaled(1e-4);
+        let mut p = SpotWebPolicy::new(SpotWebConfig::default(), 3);
+        let counts = p.decide(&catalog, &obs_fixture(&prices, &failures, &cov));
+        let cap: f64 = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n as f64 * catalog.market(i).capacity_rps())
+            .sum();
+        assert!(cap >= 1000.0, "capacity {cap} must cover the workload");
+    }
+
+    #[test]
+    fn exosphere_tracks_current_load_only() {
+        let catalog = Catalog::fig5_three_markets();
+        let prices = [2.0, 1.0, 1.2];
+        let failures = [0.04; 3];
+        let cov = Matrix::identity(3).scaled(1e-4);
+        let mut p = ExoSpherePolicy::new(SpotWebConfig::default(), 3);
+        let mut obs = obs_fixture(&prices, &failures, &cov);
+        let low = p.decide(&catalog, &obs);
+        obs.current_workload = 4000.0;
+        let high = p.decide(&catalog, &obs);
+        let cap = |c: &[u32]| -> f64 {
+            c.iter()
+                .enumerate()
+                .map(|(i, &n)| n as f64 * catalog.market(i).capacity_rps())
+                .sum()
+        };
+        assert!(cap(&high) > cap(&low));
+    }
+
+    #[test]
+    fn constant_portfolio_freezes_weights() {
+        let catalog = Catalog::fig5_three_markets();
+        let failures = [0.04; 3];
+        let cov = Matrix::identity(3).scaled(1e-4);
+        let mut p = ConstantPortfolioPolicy::new(SpotWebConfig::default(), 3, 2);
+        let prices1 = [2.0, 1.0, 1.2];
+        let mut obs = obs_fixture(&prices1, &failures, &cov);
+        p.decide(&catalog, &obs);
+        obs.interval = 1;
+        p.decide(&catalog, &obs);
+        assert!(p.weights().is_some(), "weights frozen after interval 2");
+        let frozen = p.weights().unwrap().to_vec();
+        // Prices flip; the frozen policy must not change its mix.
+        let prices2 = [9.0, 0.2, 5.0];
+        obs.interval = 2;
+        obs.prices = &prices2;
+        p.decide(&catalog, &obs);
+        assert_eq!(p.weights().unwrap(), frozen.as_slice());
+    }
+
+    #[test]
+    fn on_demand_picks_single_cheapest_market() {
+        let catalog = Catalog::fig5_three_markets();
+        let prices = [2.0, 1.0, 1.2]; // ignored: policy uses on-demand prices
+        let failures = [0.0; 3];
+        let cov = Matrix::identity(3).scaled(1e-4);
+        let mut p = OnDemandPolicy::new();
+        let counts = p.decide(&catalog, &obs_fixture(&prices, &failures, &cov));
+        assert_eq!(counts.iter().filter(|&&n| n > 0).count(), 1);
+        // Capacity covers λ with headroom.
+        let cap: f64 = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n as f64 * catalog.market(i).capacity_rps())
+            .sum();
+        assert!(cap >= 1200.0);
+    }
+
+    #[test]
+    fn qu_threshold_survives_k_failures() {
+        let catalog = Catalog::ec2_subset(9);
+        let prices: Vec<f64> = catalog
+            .markets()
+            .iter()
+            .map(|m| m.instance.on_demand_price * 0.3)
+            .collect();
+        let failures = vec![0.05; 9];
+        let cov = Matrix::identity(9).scaled(1e-4);
+        let mut p = QuThresholdPolicy::new(3, 1);
+        let counts = p.decide(&catalog, &obs_fixture(&prices, &failures, &cov));
+        let used: Vec<usize> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(used.len(), 3, "spreads over k markets");
+        // Losing the largest-capacity used market still covers λ.
+        let cap = |skip: Option<usize>| -> f64 {
+            counts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| Some(*i) != skip)
+                .map(|(i, &n)| n as f64 * catalog.market(i).capacity_rps())
+                .sum()
+        };
+        for &m in &used {
+            assert!(
+                cap(Some(m)) >= 1000.0,
+                "losing market {m} leaves {} < λ",
+                cap(Some(m))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot tolerate")]
+    fn qu_threshold_rejects_degenerate_tolerance() {
+        QuThresholdPolicy::new(2, 2);
+    }
+
+    #[test]
+    fn oracle_overrides_reactive_target() {
+        let catalog = Catalog::fig5_three_markets();
+        let prices = [2.0, 1.0, 1.2];
+        let failures = [0.0; 3];
+        let cov = Matrix::identity(3).scaled(1e-4);
+        let oracle = OracleView {
+            workload: vec![5000.0],
+            prices: vec![prices.to_vec()],
+        };
+        let mut obs = obs_fixture(&prices, &failures, &cov);
+        obs.oracle = Some(&oracle);
+        let mut p = OnDemandPolicy::new();
+        let counts = p.decide(&catalog, &obs);
+        let cap: f64 = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n as f64 * catalog.market(i).capacity_rps())
+            .sum();
+        assert!(cap >= 6000.0, "oracle-sized fleet {cap}");
+    }
+}

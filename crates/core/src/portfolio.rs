@@ -1,0 +1,264 @@
+//! Translation of the paper's MPO formulation (Eq. 3–10) into the
+//! `spotweb-solver` QP standard form.
+//!
+//! Decision vector `x` stacks the per-interval fractional allocations:
+//! `x[τ·N + i] = A[τ][i]`, the share of predicted traffic served by
+//! market `i` in interval `t+τ+1`.
+//!
+//! * Provisioning cost (Eq. 3): `Σ_τ Σ_i A[τ][i]·λ̂(τ)·C_i(τ)·Δt`,
+//!   with `C_i(τ) = price_i(τ)/r_i` the per-request cost and `Δt` the
+//!   interval length in hours — a **linear** term.
+//! * SLA-violation cost (Eq. 4): `P·Σ A[τ][i]·f_i(τ)·λ̂(τ)·L` — the
+//!   component of Eq. 4 that depends on the allocation. (The
+//!   misprediction component `λ − λ̂` does not depend on `A`; it is
+//!   handled by the predictor's CI padding, §4.3.) Also linear.
+//! * Risk (Eq. 5): `α·A(τ)ᵀMA(τ)` — quadratic, `M` PSD.
+//! * Churn: `γ·‖A(τ) − A(τ−1)‖²` with `A(t−1)` the currently-running
+//!   allocation — quadratic coupling between adjacent intervals.
+//! * Constraints (Eq. 7–10): per-market boxes `0 ≤ A[τ][i] ≤ a_max` and
+//!   per-interval budget `A_min ≤ Σ_i A[τ][i] ≤ A_max`.
+
+use spotweb_linalg::Matrix;
+use spotweb_market::Catalog;
+use spotweb_solver::QpProblem;
+
+use crate::config::SpotWebConfig;
+use crate::forecast::ForecastBundle;
+use crate::{CoreError, Result};
+
+/// A built portfolio QP plus the metadata to interpret its solution.
+#[derive(Debug, Clone)]
+pub struct PortfolioProblem {
+    /// The QP in standard form.
+    pub qp: QpProblem,
+    /// Market count `N`.
+    pub markets: usize,
+    /// Horizon `H`.
+    pub horizon: usize,
+}
+
+impl PortfolioProblem {
+    /// Build the QP. `covariance` is the `N×N` revocation covariance
+    /// `M`; `prev_allocation` is the allocation currently running
+    /// (length `N`, used by the churn term; pass zeros at cold start).
+    pub fn build(
+        catalog: &Catalog,
+        forecast: &ForecastBundle,
+        covariance: &Matrix,
+        prev_allocation: &[f64],
+        config: &SpotWebConfig,
+    ) -> Result<PortfolioProblem> {
+        config
+            .validate()
+            .map_err(CoreError::Dimension)?;
+        forecast.validate().map_err(CoreError::Dimension)?;
+        let n = catalog.len();
+        let h = config.horizon;
+        if forecast.horizon() < h {
+            return Err(CoreError::Dimension(format!(
+                "forecast horizon {} < config horizon {h}",
+                forecast.horizon()
+            )));
+        }
+        if forecast.markets() != n {
+            return Err(CoreError::Dimension(format!(
+                "forecast markets {} != catalog {n}",
+                forecast.markets()
+            )));
+        }
+        if covariance.rows() != n || covariance.cols() != n {
+            return Err(CoreError::Dimension("covariance must be N×N".into()));
+        }
+        if prev_allocation.len() != n {
+            return Err(CoreError::Dimension(
+                "prev_allocation must have one entry per market".into(),
+            ));
+        }
+
+        let nv = n * h;
+        let interval_hours = config.interval_secs / 3600.0;
+
+        // ---- Quadratic part P (in ½xᵀPx convention → factor 2). ----
+        let mut p = Matrix::zeros(nv, nv);
+        // Risk blocks: 2α·M on each interval's diagonal block.
+        let risk_block = covariance.scaled(2.0 * config.alpha);
+        for tau in 0..h {
+            p.add_block(tau * n, tau * n, &risk_block);
+        }
+        // Churn: γ Σ_τ ‖A(τ) − A(τ−1)‖².
+        let g = config.churn_gamma;
+        if g > 0.0 {
+            for tau in 0..h {
+                for i in 0..n {
+                    let d = tau * n + i;
+                    // A(τ) appears in the τ-th difference...
+                    p[(d, d)] += 2.0 * g;
+                    // ...and in the (τ+1)-th difference, when it exists.
+                    if tau + 1 < h {
+                        p[(d, d)] += 2.0 * g;
+                        let e = (tau + 1) * n + i;
+                        p[(d, e)] -= 2.0 * g;
+                        p[(e, d)] -= 2.0 * g;
+                    }
+                }
+            }
+        }
+
+        // ---- Linear part q. ----
+        let mut q = vec![0.0; nv];
+        for tau in 0..h {
+            let lam = forecast.workload[tau];
+            for (i, market) in catalog.markets().iter().enumerate() {
+                let r = market.capacity_rps();
+                let per_request_cost = forecast.prices[tau][i] / r;
+                let provisioning = lam * per_request_cost * interval_hours;
+                let sla = config.penalty_per_request
+                    * forecast.failures[tau][i]
+                    * lam
+                    * config.long_running_fraction;
+                q[tau * n + i] = provisioning + sla;
+            }
+        }
+        // Churn cross-term with the fixed previous allocation:
+        // γ(A(0) − A_prev)² contributes −2γ·A_prev to q(0).
+        if g > 0.0 {
+            for i in 0..n {
+                q[i] -= 2.0 * g * prev_allocation[i];
+            }
+        }
+
+        // ---- Constraints. ----
+        // Rows: per-τ per-market boxes (N·H), then per-τ budgets (H).
+        let m_rows = nv + h;
+        let mut a = Matrix::zeros(m_rows, nv);
+        let mut l = vec![0.0; m_rows];
+        let mut u = vec![0.0; m_rows];
+        for tau in 0..h {
+            for i in 0..n {
+                let row = tau * n + i;
+                a[(row, tau * n + i)] = 1.0;
+                l[row] = 0.0;
+                u[row] = config.a_max_per_market;
+            }
+        }
+        for tau in 0..h {
+            let row = nv + tau;
+            for i in 0..n {
+                a[(row, tau * n + i)] = 1.0;
+            }
+            l[row] = config.a_min;
+            u[row] = config.a_max_total;
+        }
+
+        let qp = QpProblem::new(p, q, a, l, u)?;
+        Ok(PortfolioProblem {
+            qp,
+            markets: n,
+            horizon: h,
+        })
+    }
+
+    /// Split a flat QP solution into per-interval allocation rows
+    /// (`result[τ][i] = A[τ][i]`), clamping solver jitter into bounds.
+    pub fn unpack(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(x.len(), self.markets * self.horizon);
+        (0..self.horizon)
+            .map(|tau| {
+                x[tau * self.markets..(tau + 1) * self.markets]
+                    .iter()
+                    .map(|v| v.max(0.0))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotweb_market::Catalog;
+
+    fn setup() -> (Catalog, ForecastBundle, Matrix, SpotWebConfig) {
+        let catalog = Catalog::fig5_three_markets();
+        let forecast = ForecastBundle::flat(
+            1000.0,
+            &[6.0, 1.0, 1.0],
+            &[0.04, 0.04, 0.04],
+            4,
+        );
+        let m = Matrix::identity(3).scaled(1e-4);
+        (catalog, forecast, m, SpotWebConfig::default())
+    }
+
+    #[test]
+    fn builds_expected_dimensions() {
+        let (c, f, m, cfg) = setup();
+        let p = PortfolioProblem::build(&c, &f, &m, &[0.0; 3], &cfg).unwrap();
+        assert_eq!(p.qp.num_vars(), 12);
+        assert_eq!(p.qp.num_constraints(), 12 + 4);
+        assert_eq!(p.markets, 3);
+        assert_eq!(p.horizon, 4);
+    }
+
+    #[test]
+    fn linear_cost_matches_hand_computation() {
+        let (c, f, m, mut cfg) = setup();
+        cfg.churn_gamma = 0.0;
+        let p = PortfolioProblem::build(&c, &f, &m, &[0.0; 3], &cfg).unwrap();
+        // Market 0: price 6 $/h, r = 1920 → C = 0.003125 $/h per req/s;
+        // λ = 1000, Δt = 1 h → q = 3.125. L = 0 → no SLA term.
+        assert!((p.qp.q[0] - 1000.0 * 6.0 / 1920.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sla_term_enters_with_positive_l() {
+        let (c, f, m, mut cfg) = setup();
+        cfg.churn_gamma = 0.0;
+        cfg.long_running_fraction = 0.5;
+        let p = PortfolioProblem::build(&c, &f, &m, &[0.0; 3], &cfg).unwrap();
+        let provisioning = 1000.0 * 6.0 / 1920.0;
+        let sla = 0.02 * 0.04 * 1000.0 * 0.5;
+        assert!((p.qp.q[0] - (provisioning + sla)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_couples_adjacent_intervals() {
+        let (c, f, m, cfg) = setup();
+        let p = PortfolioProblem::build(&c, &f, &m, &[0.2, 0.0, 0.0], &cfg).unwrap();
+        let g = cfg.churn_gamma;
+        // Off-diagonal coupling between A[0][0] and A[1][0].
+        assert!((p.qp.p[(0, 3)] + 2.0 * g).abs() < 1e-12);
+        // Previous allocation shows up in q[0].
+        let base = 1000.0 * 6.0 / 1920.0;
+        assert!((p.qp.q[0] - (base - 2.0 * g * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_rows_bound_totals() {
+        let (c, f, m, cfg) = setup();
+        let p = PortfolioProblem::build(&c, &f, &m, &[0.0; 3], &cfg).unwrap();
+        let row = 12; // first budget row
+        assert_eq!(p.qp.l[row], cfg.a_min);
+        assert_eq!(p.qp.u[row], cfg.a_max_total);
+    }
+
+    #[test]
+    fn dimension_errors_detected() {
+        let (c, f, m, cfg) = setup();
+        assert!(PortfolioProblem::build(&c, &f, &m, &[0.0; 2], &cfg).is_err());
+        let bad_m = Matrix::identity(2);
+        assert!(PortfolioProblem::build(&c, &f, &bad_m, &[0.0; 3], &cfg).is_err());
+        let short = ForecastBundle::flat(1.0, &[1.0, 1.0, 1.0], &[0.0; 3], 2);
+        assert!(PortfolioProblem::build(&c, &short, &m, &[0.0; 3], &cfg).is_err());
+    }
+
+    #[test]
+    fn unpack_round_trips() {
+        let (c, f, m, cfg) = setup();
+        let p = PortfolioProblem::build(&c, &f, &m, &[0.0; 3], &cfg).unwrap();
+        let x: Vec<f64> = (0..12).map(|i| i as f64 / 12.0).collect();
+        let rows = p.unpack(&x);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[1][0], 3.0 / 12.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Admission control.
+//!
+//! §4.4: when replacements cannot start within the warning period,
+//! "the load-balancer acts as an admission controller, dropping or
+//! delaying requests that can not be served without overloading the
+//! running servers to protect the remaining servers from becoming
+//! overwhelmed."
+//!
+//! *Delaying* happens naturally in the backend FIFO queues; what the
+//! admission controller bounds is **how much** delay may accumulate:
+//! it estimates the queueing wait a new request would see from the
+//! cluster's current in-flight count and effective capacity, and drops
+//! the request when that estimate exceeds the configured budget. This
+//! keeps the decision stateless (no phantom backlog to reconcile with
+//! retries) while still shedding exactly the load that cannot be
+//! served in time.
+
+/// Decision for one incoming request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Route normally (may still queue briefly at a backend).
+    Admit,
+    /// Reject to protect the cluster.
+    Drop,
+}
+
+/// Queue-wait-bounding admission controller.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    /// Target maximum utilization of effective capacity.
+    pub max_utilization: f64,
+    /// Maximum estimated queueing delay before dropping (seconds).
+    pub max_delay_secs: f64,
+}
+
+impl AdmissionController {
+    /// New controller; `max_utilization ∈ (0, 1]`.
+    pub fn new(max_utilization: f64, max_delay_secs: f64) -> Self {
+        assert!(max_utilization > 0.0 && max_utilization <= 1.0);
+        assert!(max_delay_secs >= 0.0);
+        AdmissionController {
+            max_utilization,
+            max_delay_secs,
+        }
+    }
+
+    /// Estimated queueing wait (seconds) for a request joining a
+    /// cluster with `in_flight` requests in the system, aggregate
+    /// effective capacity `capacity_rps`, and per-request service time
+    /// `service_secs`.
+    ///
+    /// The cluster behaves like `c = capacity·service` parallel slots;
+    /// the `in_flight − c` excess drains at `capacity` req/s.
+    pub fn estimated_wait(&self, in_flight: u64, capacity_rps: f64, service_secs: f64) -> f64 {
+        if capacity_rps <= 0.0 {
+            return f64::INFINITY;
+        }
+        let usable = capacity_rps * self.max_utilization;
+        let slots = (usable * service_secs).max(1.0);
+        let excess = in_flight as f64 - slots;
+        if excess <= 0.0 {
+            0.0
+        } else {
+            excess / usable
+        }
+    }
+
+    /// Decide for one arriving request.
+    pub fn decide(&self, in_flight: u64, capacity_rps: f64, service_secs: f64) -> AdmissionDecision {
+        if self.estimated_wait(in_flight, capacity_rps, service_secs) > self.max_delay_secs {
+            AdmissionDecision::Drop
+        } else {
+            AdmissionDecision::Admit
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_when_idle() {
+        let ac = AdmissionController::new(0.95, 2.0);
+        assert_eq!(ac.decide(0, 100.0, 0.25), AdmissionDecision::Admit);
+        assert_eq!(ac.estimated_wait(0, 100.0, 0.25), 0.0);
+    }
+
+    #[test]
+    fn admits_within_delay_budget() {
+        let ac = AdmissionController::new(1.0, 2.0);
+        // slots = 25; 100 in flight → excess 75 → wait 0.75 s < 2 s.
+        assert_eq!(ac.decide(100, 100.0, 0.25), AdmissionDecision::Admit);
+        assert!((ac.estimated_wait(100, 100.0, 0.25) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drops_beyond_delay_budget() {
+        let ac = AdmissionController::new(1.0, 2.0);
+        // excess 275 → wait 2.75 s > 2 s.
+        assert_eq!(ac.decide(300, 100.0, 0.25), AdmissionDecision::Drop);
+    }
+
+    #[test]
+    fn zero_capacity_always_drops() {
+        let ac = AdmissionController::new(0.9, 5.0);
+        assert_eq!(ac.decide(0, 0.0, 0.25), AdmissionDecision::Drop);
+    }
+
+    #[test]
+    fn utilization_headroom_tightens_budget() {
+        let strict = AdmissionController::new(0.5, 1.0);
+        let loose = AdmissionController::new(1.0, 1.0);
+        // Same load: the strict controller sees a longer wait.
+        assert!(
+            strict.estimated_wait(100, 100.0, 0.25) > loose.estimated_wait(100, 100.0, 0.25)
+        );
+    }
+}

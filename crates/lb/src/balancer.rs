@@ -1,0 +1,655 @@
+//! The load-balancer façade.
+//!
+//! Combines [`SmoothWrr`] routing, [`SessionTable`] stickiness,
+//! [`AdmissionController`] overload protection, and transiency
+//! handling. Two personalities, selected by
+//! [`LoadBalancerConfig::transiency_aware`]:
+//!
+//! * **SpotWeb** (`true`): a revocation warning immediately drains the
+//!   backend — new requests avoid it, its sessions migrate to peers
+//!   with spare capacity — and the caller learns the capacity gap so it
+//!   can reprovision within the warning window.
+//! * **Vanilla** (`false`): warnings are ignored (the Fig. 4(a)
+//!   HAProxy baseline); the backend keeps receiving traffic until the
+//!   cloud kills it, at which point every session and in-flight
+//!   request on it is lost.
+
+use crate::admission::{AdmissionController, AdmissionDecision};
+use crate::backend::{Backend, BackendId, BackendState};
+use crate::session::SessionTable;
+use crate::wrr::SmoothWrr;
+
+/// Load-balancer configuration.
+#[derive(Debug, Clone)]
+pub struct LoadBalancerConfig {
+    /// React to revocation warnings (SpotWeb) or ignore them (vanilla).
+    pub transiency_aware: bool,
+    /// Enable the overload admission controller.
+    pub admission_control: bool,
+    /// Admission: max fraction of effective capacity to admit.
+    pub max_utilization: f64,
+    /// Admission: max queueing delay before dropping (seconds).
+    pub max_delay_secs: f64,
+    /// Expected request service time (drives utilization estimates and
+    /// migration targeting).
+    pub service_secs: f64,
+}
+
+impl Default for LoadBalancerConfig {
+    fn default() -> Self {
+        LoadBalancerConfig {
+            transiency_aware: true,
+            admission_control: true,
+            max_utilization: 0.98,
+            max_delay_secs: 2.0,
+            service_secs: 0.25,
+        }
+    }
+}
+
+/// Outcome of routing one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteOutcome {
+    /// Sent to a backend.
+    Routed(BackendId),
+    /// Rejected (admission control or no live backend).
+    Dropped,
+}
+
+/// Result of handling a revocation warning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarningReport {
+    /// Sessions re-pinned to surviving backends immediately.
+    pub migrated_sessions: usize,
+    /// Sessions left on the draining server for now (no survivor has
+    /// headroom); they re-home lazily as replacement capacity appears
+    /// and are forced off before the termination deadline.
+    pub stayed_sessions: usize,
+    /// Capacity (req/s) the cluster loses when the server dies —
+    /// the controller's signal to reprovision.
+    pub capacity_gap_rps: f64,
+}
+
+/// Running counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LbStats {
+    /// Requests routed to a backend.
+    pub routed: u64,
+    /// Requests dropped (admission or no backend).
+    pub dropped: u64,
+    /// Sessions migrated by warnings.
+    pub migrations: u64,
+    /// Sessions lost to abrupt server death.
+    pub sessions_lost: u64,
+}
+
+/// The transiency-aware (or vanilla) weighted-round-robin balancer.
+pub struct LoadBalancer {
+    config: LoadBalancerConfig,
+    backends: Vec<Backend>,
+    wrr: SmoothWrr,
+    sessions: SessionTable,
+    admission: AdmissionController,
+    stats: LbStats,
+}
+
+impl LoadBalancer {
+    /// Empty balancer.
+    pub fn new(config: LoadBalancerConfig) -> Self {
+        let admission = AdmissionController::new(config.max_utilization, config.max_delay_secs);
+        LoadBalancer {
+            config,
+            backends: Vec::new(),
+            wrr: SmoothWrr::new(Vec::new()),
+            sessions: SessionTable::new(),
+            admission,
+            stats: LbStats::default(),
+        }
+    }
+
+    /// Register a backend that must boot first (startup + warm-up).
+    pub fn add_backend(
+        &mut self,
+        market: usize,
+        capacity_rps: f64,
+        now: f64,
+        startup_secs: f64,
+        warmup_secs: f64,
+    ) -> BackendId {
+        let id = self.backends.len();
+        let b = Backend::starting(id, market, capacity_rps, now, startup_secs, warmup_secs);
+        self.wrr.push(b.weight);
+        self.backends.push(b);
+        id
+    }
+
+    /// Register an already-serving backend (cluster bootstrap).
+    pub fn add_backend_up(&mut self, market: usize, capacity_rps: f64) -> BackendId {
+        let id = self.backends.len();
+        let b = Backend::up(id, market, capacity_rps);
+        self.wrr.push(b.weight);
+        self.backends.push(b);
+        id
+    }
+
+    /// All backends (read-only).
+    pub fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+
+    /// Mutable backend access (simulator drives in-flight counts).
+    pub fn backend_mut(&mut self, id: BackendId) -> &mut Backend {
+        &mut self.backends[id]
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LbStats {
+        self.stats
+    }
+
+    /// Session table (read-only).
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
+    }
+
+    /// Sum of effective capacities at `now` (req/s).
+    pub fn effective_capacity(&self, now: f64) -> f64 {
+        self.backends
+            .iter()
+            .map(|b| b.effective_capacity(now))
+            .sum()
+    }
+
+    /// Advance backend lifecycle states to `now`.
+    pub fn tick(&mut self, now: f64) {
+        for b in &mut self.backends {
+            b.tick(now);
+        }
+    }
+
+    /// Re-program WRR weights from a new portfolio: `market_weights[m]`
+    /// is market `m`'s share; each backend gets its market's weight
+    /// split evenly across that market's live backends (§5.2: "The
+    /// weights are set to be equal to the relative weight of a market
+    /// within the portfolio").
+    pub fn update_portfolio_weights(&mut self, market_weights: &[f64], now: f64) {
+        let mut live_per_market: Vec<usize> = vec![0; market_weights.len()];
+        for b in &self.backends {
+            if b.market < market_weights.len() && b.accepts_new(now) {
+                live_per_market[b.market] += 1;
+            }
+        }
+        for i in 0..self.backends.len() {
+            let m = self.backends[i].market;
+            let w = if m < market_weights.len() && live_per_market[m] > 0 {
+                market_weights[m] / live_per_market[m] as f64
+            } else {
+                0.0
+            };
+            self.backends[i].weight = w;
+            self.wrr.set_weight(i, w);
+        }
+    }
+
+    /// A draining backend remains usable for new traffic while at
+    /// least this many service times remain before its deadline.
+    const DRAIN_MARGIN_SERVICES: f64 = 20.0;
+
+    /// Per-backend overload threshold used by the routing tiers: a
+    /// backend with more than this multiple of its nominal concurrency
+    /// in flight is considered saturated.
+    const OVERLOAD_FACTOR: f64 = 2.0;
+
+    /// Is `i` usable as a *fallback* target — a still-alive draining
+    /// backend with comfortable margin before termination? (§4.4: until
+    /// replacements are up, the revoked servers are still serving.)
+    fn drain_fallback_ok(&self, i: BackendId, now: f64) -> bool {
+        if !self.config.transiency_aware {
+            return false;
+        }
+        match self.backends[i].state {
+            BackendState::Draining { deadline } => {
+                deadline - now > Self::DRAIN_MARGIN_SERVICES * self.config.service_secs
+            }
+            _ => false,
+        }
+    }
+
+    fn is_saturated(&self, i: BackendId, now: f64) -> bool {
+        self.backends[i].utilization(now, self.config.service_secs) > Self::OVERLOAD_FACTOR
+    }
+
+    /// Route one request. `session` pins/uses stickiness when given.
+    ///
+    /// Routing tiers: (1) non-draining backends with headroom, (2) —
+    /// transiency-aware only — still-alive draining backends with
+    /// headroom (the paper keeps serving from revoked servers until
+    /// replacements arrive), (3) any accepting backend even if
+    /// saturated. Admission control bounds the total queueing delay
+    /// across the tiers considered.
+    pub fn route(&mut self, session: Option<u64>, now: f64) -> RouteOutcome {
+        if self.config.admission_control {
+            // Capacity and load over every backend a request could use.
+            let mut cap = 0.0;
+            let mut in_flight = 0u64;
+            for b in &self.backends {
+                let usable = b.accepts_new(now) || self.drain_fallback_ok(b.id, now);
+                if usable {
+                    cap += b.effective_capacity(now);
+                    in_flight += b.in_flight;
+                }
+            }
+            if self
+                .admission
+                .decide(in_flight, cap, self.config.service_secs)
+                == AdmissionDecision::Drop
+            {
+                self.stats.dropped += 1;
+                return RouteOutcome::Dropped;
+            }
+        }
+        // Sticky sessions: return to the pinned backend while it is
+        // healthy; re-pin (capacity-seeking) when it is saturated,
+        // draining, or dead and a backend with headroom exists.
+        if let Some(s) = session {
+            if let Some(b) = self.sessions.lookup(s) {
+                let serves = self.backend_serves(b, now);
+                let on_draining_fallback = !serves && self.drain_fallback_ok(b, now);
+                let healthy = (serves || on_draining_fallback) && !self.is_saturated(b, now);
+                let prefer_repin = !healthy || on_draining_fallback;
+                if prefer_repin {
+                    // Seek capacity: healthy backends first, then
+                    // still-alive draining ones (the paper's "load stays
+                    // on the revoked servers until replacements start").
+                    let t1: Vec<bool> = (0..self.backends.len())
+                        .map(|i| self.backends[i].accepts_new(now) && !self.is_saturated(i, now))
+                        .collect();
+                    let target = self
+                        .wrr
+                        .pick(|i| t1[i])
+                        .or_else(|| self.pick_least_utilized(now, |i| t1[i]))
+                        .or_else(|| {
+                            self.pick_least_utilized(now, |i| {
+                                i != b
+                                    && self.drain_fallback_ok(i, now)
+                                    && !self.is_saturated(i, now)
+                            })
+                        });
+                    if let Some(nb) = target {
+                        self.sessions.assign(s, nb);
+                        self.backends[nb].in_flight += 1;
+                        self.stats.routed += 1;
+                        if on_draining_fallback || !serves {
+                            self.stats.migrations += 1;
+                        }
+                        return RouteOutcome::Routed(nb);
+                    }
+                }
+                if serves || on_draining_fallback {
+                    self.backends[b].in_flight += 1;
+                    self.stats.routed += 1;
+                    return RouteOutcome::Routed(b);
+                }
+                // Pinned backend is gone and nothing has headroom: fall
+                // through to the tiered pick below.
+            }
+        }
+        let pick = self.pick_tiered(now);
+        match pick {
+            Some(b) => {
+                if let Some(s) = session {
+                    self.sessions.assign(s, b);
+                }
+                self.backends[b].in_flight += 1;
+                self.stats.routed += 1;
+                RouteOutcome::Routed(b)
+            }
+            None => {
+                self.stats.dropped += 1;
+                RouteOutcome::Dropped
+            }
+        }
+    }
+
+    /// Least-utilized backend among those where `eligible` holds.
+    /// Used by the fallback tiers, whose members often carry zero
+    /// portfolio weight (e.g. draining servers the optimizer already
+    /// dropped) and therefore cannot go through the WRR.
+    fn pick_least_utilized(
+        &self,
+        now: f64,
+        eligible: impl Fn(usize) -> bool,
+    ) -> Option<BackendId> {
+        let service = self.config.service_secs;
+        (0..self.backends.len())
+            .filter(|&i| eligible(i))
+            .min_by(|&a, &b| {
+                self.backends[a]
+                    .utilization(now, service)
+                    .partial_cmp(&self.backends[b].utilization(now, service))
+                    .expect("finite utilizations")
+            })
+    }
+
+    fn pick_tiered(&mut self, now: f64) -> Option<BackendId> {
+        // Tier 1: healthy backends with headroom, via weighted RR.
+        let t1: Vec<bool> = (0..self.backends.len())
+            .map(|i| self.backends[i].accepts_new(now) && !self.is_saturated(i, now))
+            .collect();
+        if let Some(b) = self.wrr.pick(|i| t1[i]) {
+            return Some(b);
+        }
+        // Tier 1b: healthy but currently zero-weighted (portfolio just
+        // changed); least-utilized.
+        if let Some(b) = self.pick_least_utilized(now, |i| {
+            self.backends[i].accepts_new(now) && !self.is_saturated(i, now)
+        }) {
+            return Some(b);
+        }
+        // Tier 2: draining-but-alive backends with headroom.
+        if let Some(b) = self.pick_least_utilized(now, |i| {
+            self.drain_fallback_ok(i, now) && !self.is_saturated(i, now)
+        }) {
+            return Some(b);
+        }
+        // Tier 3: anything serving, saturated or not (admission has
+        // already bounded the queue we are about to join).
+        self.pick_least_utilized(now, |i| {
+            self.backends[i].accepts_new(now) || self.drain_fallback_ok(i, now)
+        })
+    }
+
+    /// A request on `backend` finished; `session_done` removes the
+    /// session pin as well (end of user session).
+    pub fn complete(&mut self, backend: BackendId, session_done: Option<u64>) {
+        let b = &mut self.backends[backend];
+        b.in_flight = b.in_flight.saturating_sub(1);
+        if let Some(s) = session_done {
+            self.sessions.remove(s);
+        }
+    }
+
+    /// Handle a revocation warning for `backend` arriving at `now` with
+    /// `warning_secs` of notice.
+    ///
+    /// Transiency-aware: drain the backend and migrate its sessions to
+    /// the least-utilized surviving backends. Vanilla: record the
+    /// deadline but change nothing (the server dies abruptly later).
+    pub fn revocation_warning(
+        &mut self,
+        backend: BackendId,
+        now: f64,
+        warning_secs: f64,
+    ) -> WarningReport {
+        let deadline = now + warning_secs;
+        let capacity_gap_rps = self.backends[backend].capacity_rps;
+        if !self.config.transiency_aware {
+            // Vanilla keeps routing; the deadline is tracked by the
+            // caller, which will invoke `server_died` at `deadline`.
+            return WarningReport {
+                migrated_sessions: 0,
+                stayed_sessions: self.sessions.count_on(backend),
+                capacity_gap_rps,
+            };
+        }
+        self.backends[backend].state = BackendState::Draining { deadline };
+        // Weight stays: the draining backend may still serve as a tier-2
+        // fallback until the cluster has replacement capacity.
+        // Migrate sessions to the least-utilized *unsaturated* accepting
+        // backends; sessions beyond their headroom stay pinned and
+        // re-home lazily as replacements come up.
+        let service = self.config.service_secs;
+        let mut target_cache: Vec<BackendId> = (0..self.backends.len())
+            .filter(|&i| {
+                i != backend && self.backends[i].accepts_new(now) && !self.is_saturated(i, now)
+            })
+            .collect();
+        // Sort once by utilization; round-robin over the sorted list.
+        target_cache.sort_by(|&a, &b| {
+            self.backends[a]
+                .utilization(now, service)
+                .partial_cmp(&self.backends[b].utilization(now, service))
+                .expect("finite utilizations")
+        });
+        // Spare request slots bound how many sessions move right away.
+        let spare_slots: f64 = target_cache
+            .iter()
+            .map(|&i| {
+                let b = &self.backends[i];
+                (b.effective_capacity(now) * service * Self::OVERLOAD_FACTOR
+                    - b.in_flight as f64)
+                    .max(0.0)
+            })
+            .sum();
+        // Sessions are mostly idle between requests; allow a generous
+        // multiple of the instantaneous slot headroom.
+        let budget = (spare_slots * 50.0) as usize;
+        let mut cursor = 0;
+        let (migrated, stayed) = self.sessions.migrate_all(backend, || {
+            if target_cache.is_empty() || cursor >= budget {
+                return None;
+            }
+            let t = target_cache[cursor % target_cache.len()];
+            cursor += 1;
+            Some(t)
+        });
+        self.stats.migrations += migrated as u64;
+        WarningReport {
+            migrated_sessions: migrated,
+            stayed_sessions: stayed,
+            capacity_gap_rps,
+        }
+    }
+
+    /// The cloud terminated `backend` (end of warning). Every session
+    /// still pinned there is lost; returns how many. In-flight requests
+    /// are the simulator's to fail.
+    pub fn server_died(&mut self, backend: BackendId, _now: f64) -> usize {
+        self.backends[backend].state = BackendState::Down;
+        self.wrr.set_weight(backend, 0.0);
+        let lost = self.sessions.sessions_on(backend);
+        for s in &lost {
+            self.sessions.remove(*s);
+        }
+        self.stats.sessions_lost += lost.len() as u64;
+        self.backends[backend].in_flight = 0;
+        lost.len()
+    }
+
+    /// Gracefully remove a backend on scale-down: drain with an
+    /// effectively infinite deadline (it finishes its work, takes no
+    /// new requests) and migrate its sessions.
+    pub fn decommission(&mut self, backend: BackendId, now: f64) -> WarningReport {
+        self.revocation_warning(backend, now, f64::INFINITY)
+    }
+
+    fn backend_serves(&self, id: BackendId, now: f64) -> bool {
+        match self.backends[id].state {
+            BackendState::Up => true,
+            BackendState::Starting { ready_at } => now >= ready_at,
+            // Sticky traffic may continue to a draining backend only in
+            // vanilla mode (transiency-aware re-pins immediately).
+            BackendState::Draining { deadline } => {
+                !self.config.transiency_aware && now < deadline
+            }
+            BackendState::Down => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aware() -> LoadBalancer {
+        LoadBalancer::new(LoadBalancerConfig {
+            admission_control: false,
+            ..LoadBalancerConfig::default()
+        })
+    }
+
+    fn vanilla() -> LoadBalancer {
+        LoadBalancer::new(LoadBalancerConfig {
+            transiency_aware: false,
+            admission_control: false,
+            ..LoadBalancerConfig::default()
+        })
+    }
+
+    #[test]
+    fn routes_proportionally_to_capacity() {
+        let mut lb = aware();
+        lb.add_backend_up(0, 300.0);
+        lb.add_backend_up(0, 100.0);
+        let mut counts = [0u32; 2];
+        for _ in 0..400 {
+            if let RouteOutcome::Routed(b) = lb.route(None, 0.0) {
+                counts[b] += 1;
+                lb.complete(b, None);
+            }
+        }
+        assert_eq!(counts[0], 300);
+        assert_eq!(counts[1], 100);
+    }
+
+    #[test]
+    fn sticky_sessions_return_to_backend() {
+        let mut lb = aware();
+        lb.add_backend_up(0, 100.0);
+        lb.add_backend_up(0, 100.0);
+        let first = match lb.route(Some(42), 0.0) {
+            RouteOutcome::Routed(b) => b,
+            _ => panic!("must route"),
+        };
+        for _ in 0..10 {
+            match lb.route(Some(42), 1.0) {
+                RouteOutcome::Routed(b) => assert_eq!(b, first),
+                _ => panic!("must route"),
+            }
+        }
+    }
+
+    #[test]
+    fn warning_drains_and_migrates() {
+        let mut lb = aware();
+        let a = lb.add_backend_up(0, 100.0);
+        let b = lb.add_backend_up(0, 100.0);
+        for s in 0..6 {
+            // Pin sessions explicitly across both backends.
+            lb.route(Some(s), 0.0);
+        }
+        let on_a = lb.sessions().count_on(a);
+        assert!(on_a > 0);
+        let report = lb.revocation_warning(a, 10.0, 120.0);
+        assert_eq!(report.migrated_sessions, on_a);
+        assert_eq!(report.stayed_sessions, 0);
+        assert_eq!(lb.sessions().count_on(a), 0);
+        assert_eq!(lb.sessions().count_on(b), 6);
+        // New traffic avoids the draining backend.
+        for _ in 0..10 {
+            match lb.route(None, 11.0) {
+                RouteOutcome::Routed(x) => assert_eq!(x, b),
+                _ => panic!("must route"),
+            }
+        }
+    }
+
+    #[test]
+    fn vanilla_keeps_routing_to_doomed_server() {
+        let mut lb = vanilla();
+        let a = lb.add_backend_up(0, 100.0);
+        lb.add_backend_up(0, 100.0);
+        lb.revocation_warning(a, 0.0, 120.0);
+        let mut hit_a = false;
+        for _ in 0..10 {
+            if lb.route(None, 10.0) == RouteOutcome::Routed(a) {
+                hit_a = true;
+            }
+        }
+        assert!(hit_a, "vanilla must ignore the warning");
+        // At death, sessions on a are lost.
+        lb.route(Some(1), 11.0);
+        lb.route(Some(2), 11.0);
+        let on_a = lb.sessions().count_on(a);
+        let lost = lb.server_died(a, 120.0);
+        assert_eq!(lost, on_a);
+    }
+
+    #[test]
+    fn migration_prefers_idle_backends() {
+        let mut lb = aware();
+        let a = lb.add_backend_up(0, 100.0);
+        let busy = lb.add_backend_up(0, 100.0);
+        let idle = lb.add_backend_up(0, 100.0);
+        lb.backend_mut(busy).in_flight = 40;
+        for s in 0..4 {
+            lb.sessions.assign(s, a);
+        }
+        lb.revocation_warning(a, 0.0, 120.0);
+        assert!(
+            lb.sessions().count_on(idle) >= lb.sessions().count_on(busy),
+            "idle {} busy {}",
+            lb.sessions().count_on(idle),
+            lb.sessions().count_on(busy)
+        );
+    }
+
+    #[test]
+    fn no_backends_drops() {
+        let mut lb = aware();
+        assert_eq!(lb.route(None, 0.0), RouteOutcome::Dropped);
+        assert_eq!(lb.stats().dropped, 1);
+    }
+
+    #[test]
+    fn starting_backend_joins_when_ready() {
+        let mut lb = aware();
+        lb.add_backend(0, 100.0, 0.0, 60.0, 0.0);
+        assert_eq!(lb.route(None, 30.0), RouteOutcome::Dropped);
+        assert!(matches!(lb.route(None, 61.0), RouteOutcome::Routed(0)));
+    }
+
+    #[test]
+    fn admission_drops_overload_with_zero_capacity() {
+        let mut lb = LoadBalancer::new(LoadBalancerConfig {
+            transiency_aware: true,
+            admission_control: true,
+            max_utilization: 0.9,
+            max_delay_secs: 0.0,
+            service_secs: 0.25,
+        });
+        // No backends → zero capacity → everything dropped by admission.
+        for k in 0..5 {
+            assert_eq!(lb.route(None, k as f64), RouteOutcome::Dropped);
+        }
+    }
+
+    #[test]
+    fn portfolio_weight_update_shifts_traffic() {
+        let mut lb = aware();
+        lb.add_backend_up(0, 100.0); // market 0
+        lb.add_backend_up(1, 100.0); // market 1
+        lb.update_portfolio_weights(&[0.8, 0.2], 0.0);
+        let mut counts = [0u32; 2];
+        for _ in 0..100 {
+            if let RouteOutcome::Routed(b) = lb.route(None, 0.0) {
+                counts[b] += 1;
+                lb.complete(b, None);
+            }
+        }
+        assert_eq!(counts[0], 80);
+        assert_eq!(counts[1], 20);
+    }
+
+    #[test]
+    fn decommission_is_graceful() {
+        let mut lb = aware();
+        let a = lb.add_backend_up(0, 100.0);
+        let b = lb.add_backend_up(0, 100.0);
+        lb.route(Some(7), 0.0);
+        lb.route(Some(8), 0.0);
+        let report = lb.decommission(a, 1.0);
+        assert_eq!(report.stayed_sessions, 0);
+        assert_eq!(lb.sessions().count_on(b), 2);
+    }
+}

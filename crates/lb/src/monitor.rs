@@ -1,0 +1,195 @@
+//! Application-level monitoring (paper §5.2).
+//!
+//! The paper's load balancer "collects application level monitoring
+//! data, monitoring the response time distribution, the request
+//! arrival rate, the system throughput, the queue lengths of the
+//! servers, and the dropped request rate", exposed over REST to the
+//! workload predictor. [`MonitorWindow`] is that component: a rolling
+//! time window of per-request records reduced on demand to the
+//! statistics the predictors and the admission logic consume.
+
+use std::collections::VecDeque;
+
+/// Reduced statistics over the monitoring window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorSnapshot {
+    /// Window length actually covered (seconds).
+    pub window_secs: f64,
+    /// Request arrival rate (req/s), served + dropped.
+    pub arrival_rate: f64,
+    /// Served-request throughput (req/s).
+    pub throughput: f64,
+    /// Drop rate (fraction of arrivals).
+    pub drop_rate: f64,
+    /// Mean response time (s) over served requests.
+    pub mean_latency: f64,
+    /// Median response time (s).
+    pub p50_latency: f64,
+    /// Tail response time (s).
+    pub p99_latency: f64,
+}
+
+/// Rolling per-request record window.
+#[derive(Debug, Clone)]
+pub struct MonitorWindow {
+    window_secs: f64,
+    /// (arrival time, latency) — latency NaN marks a drop.
+    records: VecDeque<(f64, f64)>,
+}
+
+impl MonitorWindow {
+    /// Keep the most recent `window_secs` of records.
+    pub fn new(window_secs: f64) -> Self {
+        assert!(window_secs > 0.0);
+        MonitorWindow {
+            window_secs,
+            records: VecDeque::new(),
+        }
+    }
+
+    fn evict(&mut self, now: f64) {
+        while let Some(&(t, _)) = self.records.front() {
+            if now - t > self.window_secs {
+                self.records.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Record a served request that arrived at `arrival` and took
+    /// `latency` seconds.
+    pub fn record_served(&mut self, arrival: f64, latency: f64) {
+        assert!(latency >= 0.0 && latency.is_finite());
+        self.records.push_back((arrival, latency));
+        self.evict(arrival);
+    }
+
+    /// Record a dropped request at `arrival`.
+    pub fn record_dropped(&mut self, arrival: f64) {
+        self.records.push_back((arrival, f64::NAN));
+        self.evict(arrival);
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` before any record.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Reduce the window to a snapshot at time `now`.
+    pub fn snapshot(&mut self, now: f64) -> MonitorSnapshot {
+        self.evict(now);
+        let covered = match self.records.front() {
+            Some(&(t, _)) => (now - t).max(1e-9).min(self.window_secs),
+            None => self.window_secs,
+        };
+        let total = self.records.len() as f64;
+        let mut latencies: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|(_, l)| l.is_finite())
+            .map(|(_, l)| *l)
+            .collect();
+        let served = latencies.len() as f64;
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        MonitorSnapshot {
+            window_secs: covered,
+            arrival_rate: total / covered,
+            throughput: served / covered,
+            drop_rate: if total > 0.0 { (total - served) / total } else { 0.0 },
+            mean_latency: spotweb_linalg_mean(&latencies),
+            p50_latency: percentile(&latencies, 50.0),
+            p99_latency: percentile(&latencies, 99.0),
+        }
+    }
+}
+
+// Local helpers: `spotweb-lb` deliberately has no dependencies, so the
+// two tiny statistics it needs are inlined rather than pulling in the
+// linalg crate for them.
+fn spotweb_linalg_mean(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_over_window() {
+        let mut m = MonitorWindow::new(10.0);
+        for k in 0..20 {
+            m.record_served(k as f64 * 0.5, 0.1); // 2 req/s for 10 s
+        }
+        let s = m.snapshot(9.5);
+        assert!((s.arrival_rate - 2.0).abs() < 0.15, "rate {}", s.arrival_rate);
+        assert_eq!(s.drop_rate, 0.0);
+        assert!((s.mean_latency - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drops_counted() {
+        let mut m = MonitorWindow::new(10.0);
+        m.record_served(1.0, 0.2);
+        m.record_dropped(1.5);
+        m.record_served(2.0, 0.4);
+        m.record_dropped(2.5);
+        let s = m.snapshot(3.0);
+        assert!((s.drop_rate - 0.5).abs() < 1e-12);
+        assert!((s.throughput * s.window_secs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_records_evicted() {
+        let mut m = MonitorWindow::new(5.0);
+        m.record_served(0.0, 0.1);
+        m.record_served(10.0, 0.3);
+        let s = m.snapshot(10.0);
+        assert_eq!(m.len(), 1);
+        assert!((s.mean_latency - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let mut m = MonitorWindow::new(100.0);
+        for k in 1..=100 {
+            m.record_served(k as f64 * 0.1, k as f64 / 100.0);
+        }
+        let s = m.snapshot(10.0);
+        assert!(s.p50_latency < s.p99_latency);
+        assert!(s.p99_latency <= 1.0);
+    }
+
+    #[test]
+    fn empty_window_is_sane() {
+        let mut m = MonitorWindow::new(10.0);
+        let s = m.snapshot(0.0);
+        assert_eq!(s.arrival_rate, 0.0);
+        assert_eq!(s.drop_rate, 0.0);
+        assert!(s.p50_latency.is_nan());
+    }
+}

@@ -1,0 +1,167 @@
+//! User-session tracking.
+//!
+//! The paper's load balancer migrates *user sessions* off a revoked
+//! server within the warning period ("the load balancer migrates all
+//! user sessions on the revoked server to the remaining servers").
+//! Sessions are sticky: follow-up requests of a session go to its
+//! assigned backend; migration re-pins them. This works because the
+//! front-end tier is stateless — session state lives in the back-end
+//! tier — so re-pinning is safe (§4.4).
+
+use std::collections::HashMap;
+
+use crate::backend::BackendId;
+
+/// Session-id → backend assignment table.
+#[derive(Debug, Clone, Default)]
+pub struct SessionTable {
+    assignments: HashMap<u64, BackendId>,
+    /// Reverse index: backend → session count (cheap migration scans).
+    per_backend: HashMap<BackendId, Vec<u64>>,
+}
+
+impl SessionTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked sessions.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// `true` when no sessions are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Backend currently pinned for `session`, if any.
+    pub fn lookup(&self, session: u64) -> Option<BackendId> {
+        self.assignments.get(&session).copied()
+    }
+
+    /// Pin `session` to `backend` (re-pins if already assigned).
+    pub fn assign(&mut self, session: u64, backend: BackendId) {
+        if let Some(old) = self.assignments.insert(session, backend) {
+            if old != backend {
+                if let Some(v) = self.per_backend.get_mut(&old) {
+                    v.retain(|s| *s != session);
+                }
+            } else {
+                return;
+            }
+        }
+        self.per_backend.entry(backend).or_default().push(session);
+    }
+
+    /// Remove a finished session.
+    pub fn remove(&mut self, session: u64) {
+        if let Some(b) = self.assignments.remove(&session) {
+            if let Some(v) = self.per_backend.get_mut(&b) {
+                v.retain(|s| *s != session);
+            }
+        }
+    }
+
+    /// Sessions currently pinned to `backend`.
+    pub fn sessions_on(&self, backend: BackendId) -> Vec<u64> {
+        self.per_backend
+            .get(&backend)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of sessions pinned to `backend`.
+    pub fn count_on(&self, backend: BackendId) -> usize {
+        self.per_backend.get(&backend).map_or(0, |v| v.len())
+    }
+
+    /// Migrate every session off `from`, assigning each via `pick`
+    /// (called once per session; returning `None` — or `from` itself —
+    /// leaves the session pinned where it is, to be re-homed lazily
+    /// once capacity appears). Returns `(migrated, stayed)` counts.
+    pub fn migrate_all(
+        &mut self,
+        from: BackendId,
+        mut pick: impl FnMut() -> Option<BackendId>,
+    ) -> (usize, usize) {
+        let sessions = self.sessions_on(from);
+        let mut migrated = 0;
+        let mut stayed = 0;
+        for s in sessions {
+            match pick() {
+                Some(to) if to != from => {
+                    self.assign(s, to);
+                    migrated += 1;
+                }
+                _ => stayed += 1,
+            }
+        }
+        (migrated, stayed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_lookup_remove() {
+        let mut t = SessionTable::new();
+        t.assign(1, 10);
+        t.assign(2, 10);
+        t.assign(3, 11);
+        assert_eq!(t.lookup(1), Some(10));
+        assert_eq!(t.count_on(10), 2);
+        t.remove(1);
+        assert_eq!(t.lookup(1), None);
+        assert_eq!(t.count_on(10), 1);
+    }
+
+    #[test]
+    fn reassign_moves_reverse_index() {
+        let mut t = SessionTable::new();
+        t.assign(1, 10);
+        t.assign(1, 11);
+        assert_eq!(t.count_on(10), 0);
+        assert_eq!(t.count_on(11), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reassign_same_backend_no_duplicates() {
+        let mut t = SessionTable::new();
+        t.assign(1, 10);
+        t.assign(1, 10);
+        assert_eq!(t.count_on(10), 1);
+    }
+
+    #[test]
+    fn migrate_all_moves_everything() {
+        let mut t = SessionTable::new();
+        for s in 0..10 {
+            t.assign(s, 5);
+        }
+        let mut rr = 0;
+        let (migrated, dropped) = t.migrate_all(5, || {
+            rr += 1;
+            Some(6 + (rr % 2))
+        });
+        assert_eq!(migrated, 10);
+        assert_eq!(dropped, 0);
+        assert_eq!(t.count_on(5), 0);
+        assert_eq!(t.count_on(6) + t.count_on(7), 10);
+    }
+
+    #[test]
+    fn migrate_keeps_sessions_when_no_target() {
+        let mut t = SessionTable::new();
+        t.assign(1, 5);
+        t.assign(2, 5);
+        let (migrated, stayed) = t.migrate_all(5, || None);
+        assert_eq!(migrated, 0);
+        assert_eq!(stayed, 2);
+        assert_eq!(t.count_on(5), 2, "sessions stay pinned");
+    }
+}

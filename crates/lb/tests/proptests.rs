@@ -1,0 +1,129 @@
+//! Property tests on the load balancer: routing proportionality,
+//! in-flight accounting, and failover invariants across randomized
+//! cluster shapes.
+
+use proptest::prelude::*;
+use spotweb_lb::{LoadBalancer, LoadBalancerConfig, RouteOutcome};
+
+fn balancer(capacities: &[f64], aware: bool, admission: bool) -> LoadBalancer {
+    let mut lb = LoadBalancer::new(LoadBalancerConfig {
+        transiency_aware: aware,
+        admission_control: admission,
+        ..LoadBalancerConfig::default()
+    });
+    for (m, &c) in capacities.iter().enumerate() {
+        lb.add_backend_up(m % 3, c);
+    }
+    lb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Weighted routing distributes in proportion to capacity: over one
+    /// full WRR cycle every backend's share is exact.
+    #[test]
+    fn wrr_share_proportional(
+        caps in prop::collection::vec(50.0f64..500.0, 2..6),
+    ) {
+        // Integer-ish weights so a full cycle is well-defined: round
+        // capacities to multiples of 50.
+        let caps: Vec<f64> = caps.iter().map(|c| (c / 50.0).round() * 50.0).collect();
+        let total: f64 = caps.iter().sum();
+        let cycle = (total / 50.0) as usize;
+        let mut lb = balancer(&caps, true, false);
+        let mut counts = vec![0usize; caps.len()];
+        for _ in 0..cycle {
+            match lb.route(None, 0.0) {
+                RouteOutcome::Routed(b) => {
+                    counts[b] += 1;
+                    lb.complete(b, None);
+                }
+                RouteOutcome::Dropped => prop_assert!(false, "must route"),
+            }
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            let expected = (caps[b] / 50.0) as usize;
+            prop_assert_eq!(c, expected, "backend {} got {} expected {}", b, c, expected);
+        }
+    }
+
+    /// In-flight accounting: routes minus completes equals the sum of
+    /// in-flight counters.
+    #[test]
+    fn in_flight_conserved(
+        caps in prop::collection::vec(50.0f64..500.0, 1..5),
+        ops in prop::collection::vec(prop::bool::ANY, 1..200),
+    ) {
+        let mut lb = balancer(&caps, true, false);
+        let mut outstanding: Vec<usize> = Vec::new();
+        for complete in ops {
+            if complete {
+                if let Some(b) = outstanding.pop() {
+                    lb.complete(b, None);
+                }
+            } else if let RouteOutcome::Routed(b) = lb.route(None, 0.0) {
+                outstanding.push(b);
+            }
+        }
+        let total_in_flight: u64 = lb.backends().iter().map(|b| b.in_flight).sum();
+        prop_assert_eq!(total_in_flight as usize, outstanding.len());
+    }
+
+    /// After a warning, a transiency-aware balancer never routes *new*
+    /// requests to the draining backend while any healthy backend has
+    /// headroom.
+    #[test]
+    fn draining_avoided_while_headroom(
+        caps in prop::collection::vec(100.0f64..400.0, 2..5),
+        victim_idx in 0usize..4,
+    ) {
+        let victim = victim_idx % caps.len();
+        let mut lb = balancer(&caps, true, false);
+        lb.revocation_warning(victim, 10.0, 120.0);
+        for _ in 0..50 {
+            if let RouteOutcome::Routed(b) = lb.route(None, 11.0) {
+                prop_assert_ne!(b, victim, "routed to draining backend");
+                lb.complete(b, None);
+            }
+        }
+    }
+
+    /// Sessions survive any single revocation in an aware cluster with
+    /// at least one survivor.
+    #[test]
+    fn sessions_survive_single_revocation(
+        caps in prop::collection::vec(100.0f64..400.0, 2..5),
+        sessions in 1u64..50,
+        victim_idx in 0usize..4,
+    ) {
+        let victim = victim_idx % caps.len();
+        let mut lb = balancer(&caps, true, false);
+        for s in 0..sessions {
+            lb.route(Some(s), 0.0);
+        }
+        let before = lb.sessions().len();
+        lb.revocation_warning(victim, 1.0, 120.0);
+        lb.server_died(victim, 121.0);
+        // All sessions either migrated at the warning or re-pinned
+        // lazily; with idle survivors none should be lost.
+        prop_assert_eq!(lb.sessions().len(), before);
+        prop_assert_eq!(lb.stats().sessions_lost, 0);
+    }
+
+    /// The vanilla balancer loses exactly the sessions pinned to the
+    /// dead backend.
+    #[test]
+    fn vanilla_loses_pinned_sessions(
+        caps in prop::collection::vec(100.0f64..400.0, 2..4),
+        sessions in 1u64..60,
+    ) {
+        let mut lb = balancer(&caps, false, false);
+        for s in 0..sessions {
+            lb.route(Some(s), 0.0);
+        }
+        let pinned = lb.sessions().count_on(0);
+        let lost = lb.server_died(0, 10.0);
+        prop_assert_eq!(lost, pinned);
+    }
+}

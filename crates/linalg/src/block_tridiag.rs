@@ -1,0 +1,284 @@
+//! Block-tridiagonal Cholesky factorization.
+//!
+//! SpotWeb's multi-period KKT matrix has a special sparsity: the risk
+//! and constraint terms act within one planning period (diagonal
+//! `N × N` blocks) and only the churn term couples *adjacent* periods
+//! (sub-/super-diagonal blocks). For a horizon `H` the matrix is
+//! block-tridiagonal:
+//!
+//! ```text
+//! K = ⎡D₀  E₁ᵀ         ⎤
+//!     ⎢E₁  D₁  E₂ᵀ     ⎥
+//!     ⎢    E₂  D₂  ⋱   ⎥
+//!     ⎣        ⋱   ⋱   ⎦
+//! ```
+//!
+//! The block Cholesky factorization costs `O(H·N³)` instead of the
+//! dense `O((HN)³)` — an `H²` speedup that makes long look-ahead
+//! horizons as cheap per period as short ones (the paper's Fig. 7(b)
+//! scalability claim). The factor is block-bidiagonal:
+//! `L = bidiag(L₀…, B₁…)` with `Bᵢ = Eᵢ·Lᵢ₋₁⁻ᵀ` and
+//! `Lᵢ = chol(Dᵢ − Bᵢ·Bᵢᵀ)`.
+
+use crate::cholesky::Cholesky;
+use crate::{LinalgError, Matrix, Result};
+
+/// A Cholesky factorization of a symmetric positive definite
+/// block-tridiagonal matrix.
+#[derive(Debug, Clone)]
+pub struct BlockTridiagCholesky {
+    /// Per-block Cholesky factors of the Schur complements.
+    diag: Vec<Cholesky>,
+    /// Sub-diagonal blocks of the block factor (`B_i`, `i ∈ 1..H`).
+    sub: Vec<Matrix>,
+    /// Block dimension `N`.
+    block: usize,
+}
+
+impl BlockTridiagCholesky {
+    /// Factor from diagonal blocks `diag[t]` (symmetric PD after Schur
+    /// updates) and sub-diagonal coupling blocks `sub[t]` (the block at
+    /// row `t+1`, column `t`; pass an empty vec for block-diagonal).
+    pub fn factor(diag: &[Matrix], sub: &[Matrix]) -> Result<Self> {
+        if diag.is_empty() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "block tridiag: need at least one diagonal block",
+            });
+        }
+        if sub.len() + 1 != diag.len() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "block tridiag: need H-1 coupling blocks for H diagonal blocks",
+            });
+        }
+        let n = diag[0].rows();
+        for d in diag {
+            if d.rows() != n || d.cols() != n {
+                return Err(LinalgError::DimensionMismatch {
+                    context: "block tridiag: inconsistent diagonal block shape",
+                });
+            }
+        }
+        for e in sub {
+            if e.rows() != n || e.cols() != n {
+                return Err(LinalgError::DimensionMismatch {
+                    context: "block tridiag: inconsistent coupling block shape",
+                });
+            }
+        }
+
+        let h = diag.len();
+        let mut factors: Vec<Cholesky> = Vec::with_capacity(h);
+        let mut subs: Vec<Matrix> = Vec::with_capacity(h.saturating_sub(1));
+        factors.push(Cholesky::factor(&diag[0])?);
+        for t in 1..h {
+            let prev = &factors[t - 1];
+            // B = E · L⁻ᵀ  ⇔  for each row e of E, solve L y = e.
+            let e = &sub[t - 1];
+            let mut b = Matrix::zeros(n, n);
+            let mut row_buf = vec![0.0; n];
+            for r in 0..n {
+                row_buf.copy_from_slice(e.row(r));
+                prev.forward_solve_in_place(&mut row_buf)?;
+                b.row_mut(r).copy_from_slice(&row_buf);
+            }
+            // Schur complement S = D − B Bᵀ.
+            let mut s = diag[t].clone();
+            let bbt = b.matmul(&b.transpose()).expect("square blocks");
+            for i in 0..n {
+                for j in 0..n {
+                    s[(i, j)] -= bbt[(i, j)];
+                }
+            }
+            factors.push(Cholesky::factor(&s)?);
+            subs.push(b);
+        }
+        Ok(BlockTridiagCholesky {
+            diag: factors,
+            sub: subs,
+            block: n,
+        })
+    }
+
+    /// Number of diagonal blocks (`H`).
+    pub fn blocks(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Total dimension (`H · N`).
+    pub fn dim(&self) -> usize {
+        self.blocks() * self.block
+    }
+
+    /// Solve `K x = b` in place.
+    pub fn solve_in_place(&self, x: &mut [f64]) -> Result<()> {
+        if x.len() != self.dim() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "block tridiag solve: rhs length mismatch",
+            });
+        }
+        let n = self.block;
+        let h = self.blocks();
+        // Forward: solve the block-bidiagonal L z = b.
+        //   z₀ = L₀⁻¹ b₀; z_t = L_t⁻¹ (b_t − B_t z_{t−1}).
+        let mut zt_prev = vec![0.0; n];
+        for t in 0..h {
+            let (lo, hi) = (t * n, (t + 1) * n);
+            if t > 0 {
+                let b = &self.sub[t - 1];
+                for i in 0..n {
+                    let mut s = x[lo + i];
+                    let row = b.row(i);
+                    for k in 0..n {
+                        s -= row[k] * zt_prev[k];
+                    }
+                    x[lo + i] = s;
+                }
+            }
+            self.diag[t].forward_solve_in_place(&mut x[lo..hi])?;
+            zt_prev.copy_from_slice(&x[lo..hi]);
+        }
+        // Backward: Lᵀ x = z (block upper-bidiagonal with Bᵀ blocks).
+        //   x_{H−1} = L_{H−1}⁻ᵀ z_{H−1};
+        //   x_t = L_t⁻ᵀ (z_t − B_{t+1}ᵀ x_{t+1}).
+        for t in (0..h).rev() {
+            let (lo, hi) = (t * n, (t + 1) * n);
+            if t + 1 < h {
+                let b = &self.sub[t]; // B_{t+1}
+                let x_next: Vec<f64> = x[hi..hi + n].to_vec();
+                for i in 0..n {
+                    // (Bᵀ x)_i = Σ_k B[k,i] x_k.
+                    let mut s = 0.0;
+                    for k in 0..n {
+                        s += b[(k, i)] * x_next[k];
+                    }
+                    x[lo + i] -= s;
+                }
+            }
+            self.diag[t].backward_solve_in_place(&mut x[lo..hi])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Assemble the dense matrix from blocks (test oracle).
+    fn assemble(diag: &[Matrix], sub: &[Matrix]) -> Matrix {
+        let n = diag[0].rows();
+        let h = diag.len();
+        let mut k = Matrix::zeros(n * h, n * h);
+        for (t, d) in diag.iter().enumerate() {
+            k.set_block(t * n, t * n, d);
+        }
+        for (t, e) in sub.iter().enumerate() {
+            k.set_block((t + 1) * n, t * n, e);
+            k.set_block(t * n, (t + 1) * n, &e.transpose());
+        }
+        k
+    }
+
+    fn spd_block(seed: f64, n: usize) -> Matrix {
+        // Deterministic PD block: B Bᵀ + (2 + seed) I.
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                b[(i, j)] = ((i * 3 + j * 7) as f64 * 0.37 + seed).sin();
+            }
+        }
+        let mut m = b.matmul(&b.transpose()).unwrap();
+        m.add_diag_mut(2.0 + seed);
+        m
+    }
+
+    fn coupling(seed: f64, n: usize) -> Matrix {
+        let mut e = Matrix::zeros(n, n);
+        for i in 0..n {
+            e[(i, i)] = -0.3 - 0.05 * seed;
+        }
+        // Small off-diagonal dirt so the blocks are not pure scalars.
+        e[(0, n - 1)] = 0.05 * (seed + 1.0);
+        e
+    }
+
+    #[test]
+    fn matches_dense_cholesky() {
+        let n = 4;
+        let h = 5;
+        let diag: Vec<Matrix> = (0..h).map(|t| spd_block(t as f64, n)).collect();
+        let sub: Vec<Matrix> = (1..h).map(|t| coupling(t as f64, n)).collect();
+        let dense = assemble(&diag, &sub);
+        let x_true: Vec<f64> = (0..n * h).map(|i| (i as f64 * 0.31).cos()).collect();
+        let b = dense.matvec(&x_true).unwrap();
+
+        let block = BlockTridiagCholesky::factor(&diag, &sub).unwrap();
+        let mut x = b.clone();
+        block.solve_in_place(&mut x).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+
+        // Cross-check against the dense factorization.
+        let dense_x = Cholesky::factor(&dense).unwrap().solve(&b).unwrap();
+        for (a, c) in x.iter().zip(&dense_x) {
+            assert!((a - c).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn single_block_degenerates_to_cholesky() {
+        let d = spd_block(0.0, 3);
+        let block = BlockTridiagCholesky::factor(std::slice::from_ref(&d), &[]).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let mut x = b.clone();
+        block.solve_in_place(&mut x).unwrap();
+        let dense = Cholesky::factor(&d).unwrap().solve(&b).unwrap();
+        for (a, c) in x.iter().zip(&dense) {
+            assert!((a - c).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let d = spd_block(0.0, 3);
+        assert!(BlockTridiagCholesky::factor(&[], &[]).is_err());
+        assert!(BlockTridiagCholesky::factor(
+            std::slice::from_ref(&d),
+            std::slice::from_ref(&d)
+        )
+        .is_err());
+        let small = spd_block(0.0, 2);
+        assert!(BlockTridiagCholesky::factor(
+            &[d.clone(), small],
+            std::slice::from_ref(&d)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut d = spd_block(0.0, 3);
+        d.scale_mut(-1.0);
+        assert!(BlockTridiagCholesky::factor(&[d], &[]).is_err());
+    }
+
+    #[test]
+    fn long_horizon_stays_accurate() {
+        // 40 blocks of size 3: accumulated Schur updates must not lose
+        // accuracy.
+        let n = 3;
+        let h = 40;
+        let diag: Vec<Matrix> = (0..h).map(|t| spd_block((t % 7) as f64, n)).collect();
+        let sub: Vec<Matrix> = (1..h).map(|t| coupling((t % 5) as f64, n)).collect();
+        let dense = assemble(&diag, &sub);
+        let x_true: Vec<f64> = (0..n * h).map(|i| ((i * i) as f64 * 0.13).sin()).collect();
+        let b = dense.matvec(&x_true).unwrap();
+        let block = BlockTridiagCholesky::factor(&diag, &sub).unwrap();
+        let mut x = b;
+        block.solve_in_place(&mut x).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-7, "{got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Cholesky factorization `A = L Lᵀ` for symmetric positive definite matrices.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A Cholesky factorization of a symmetric positive definite matrix.
+///
+/// The factor `L` (lower triangular) is stored densely; `solve` runs a
+/// forward then backward substitution. This is the workhorse behind the
+/// ADMM solver's cached linear system: factor once per problem, solve
+/// once per iteration.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor a symmetric positive definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read. Returns
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is ≤ 0 (within a
+    /// small numerical guard), and [`LinalgError::DimensionMismatch`]
+    /// for non-square input.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "cholesky: matrix must be square",
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b`, returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solve `A x = b` in place (`x` holds `b` on entry, the solution on exit).
+    pub fn solve_in_place(&self, x: &mut [f64]) -> Result<()> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "cholesky solve: rhs length mismatch",
+            });
+        }
+        // Forward substitution: L y = b.
+        for i in 0..n {
+            let mut s = x[i];
+            let row = self.l.row(i);
+            for k in 0..i {
+                s -= row[k] * x[k];
+            }
+            x[i] = s / row[i];
+        }
+        // Backward substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(())
+    }
+
+    /// log-determinant of `A` (numerically stable via the factor).
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Forward substitution only: solve `L y = b` in place.
+    ///
+    /// Building block for structured (block-wise) factorizations that
+    /// need `L⁻¹` applied without the `Lᵀ` half.
+    pub fn forward_solve_in_place(&self, x: &mut [f64]) -> Result<()> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "cholesky forward solve: rhs length mismatch",
+            });
+        }
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = x[i];
+            for k in 0..i {
+                s -= row[k] * x[k];
+            }
+            x[i] = s / row[i];
+        }
+        Ok(())
+    }
+
+    /// Backward substitution only: solve `Lᵀ x = b` in place.
+    pub fn backward_solve_in_place(&self, x: &mut [f64]) -> Result<()> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "cholesky backward solve: rhs length mismatch",
+            });
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B Bᵀ + I for a fixed B → guaranteed SPD.
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.2],
+            &[0.6, 1.2, 3.0],
+        ])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let rec = ch.l().matmul(&ch.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.log_det() - (24.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ch.solve(&b).unwrap(), b);
+    }
+}

@@ -1,0 +1,174 @@
+//! LDLᵀ factorization for symmetric (possibly quasi-definite) matrices.
+//!
+//! The ADMM KKT matrix `[[P + σI, Aᵀ], [A, -ρ⁻¹I]]` is symmetric
+//! *quasi-definite*: the upper-left block is positive definite and the
+//! lower-right is negative definite. Such matrices always admit an
+//! LDLᵀ factorization without pivoting (Vanderbei, 1995), which is why
+//! OSQP-style solvers use it. Plain Cholesky would fail on the negative
+//! diagonal.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// An LDLᵀ factorization `A = L D Lᵀ` with unit lower-triangular `L`
+/// and diagonal `D` (which may contain negative entries).
+#[derive(Debug, Clone)]
+pub struct Ldlt {
+    l: Matrix,
+    d: Vec<f64>,
+}
+
+impl Ldlt {
+    /// Factor a symmetric matrix. Only the lower triangle of `a` is read.
+    ///
+    /// Returns [`LinalgError::Singular`] if a pivot collapses to
+    /// (numerical) zero. Indefinite matrices that merely have negative
+    /// pivots factor fine — that is the point of LDLᵀ.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "ldlt: matrix must be square",
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::identity(n);
+        let mut d = vec![0.0; n];
+        // Working column buffer holding L(i,k) * D(k) products.
+        let mut w = vec![0.0; n];
+        for j in 0..n {
+            let mut dj = a[(j, j)];
+            for k in 0..j {
+                let lv = l[(j, k)];
+                w[k] = lv * d[k];
+                dj -= lv * w[k];
+            }
+            if dj.abs() < 1e-13 * (1.0 + a[(j, j)].abs()) || !dj.is_finite() {
+                return Err(LinalgError::Singular { pivot: j });
+            }
+            d[j] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * w[k];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Ldlt { l, d })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Borrow the unit lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Borrow the diagonal of `D`.
+    pub fn d(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Number of negative pivots (the matrix inertia's negative count).
+    pub fn negative_pivots(&self) -> usize {
+        self.d.iter().filter(|&&v| v < 0.0).count()
+    }
+
+    /// Solve `A x = b`, returning a fresh vector.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solve `A x = b` in place.
+    pub fn solve_in_place(&self, x: &mut [f64]) -> Result<()> {
+        let n = self.dim();
+        if x.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "ldlt solve: rhs length mismatch",
+            });
+        }
+        // L z = b  (unit diagonal → no division).
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = x[i];
+            for k in 0..i {
+                s -= row[k] * x[k];
+            }
+            x[i] = s;
+        }
+        // D y = z.
+        for i in 0..n {
+            x[i] /= self.d[i];
+        }
+        // Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_spd_like_cholesky() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let f = Ldlt::factor(&a).unwrap();
+        assert_eq!(f.negative_pivots(), 0);
+        let x = f.solve(&[8.0, 7.0]).unwrap();
+        // Check residual A x - b ≈ 0.
+        let r = a.matvec(&x).unwrap();
+        assert!((r[0] - 8.0).abs() < 1e-12 && (r[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factors_quasi_definite_kkt() {
+        // [[P, Aᵀ], [A, -I]] with P = 2I, A = [1 1].
+        let kkt = Matrix::from_rows(&[
+            &[2.0, 0.0, 1.0],
+            &[0.0, 2.0, 1.0],
+            &[1.0, 1.0, -1.0],
+        ]);
+        let f = Ldlt::factor(&kkt).unwrap();
+        assert_eq!(f.negative_pivots(), 1);
+        let b = vec![1.0, 2.0, 0.5];
+        let x = f.solve(&b).unwrap();
+        let r = kkt.matvec(&x).unwrap();
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_rows(&[
+            &[3.0, 1.0, 0.5],
+            &[1.0, -2.0, 0.2],
+            &[0.5, 0.2, 4.0],
+        ]);
+        let f = Ldlt::factor(&a).unwrap();
+        let ld = f.l().matmul(&Matrix::from_diag(f.d())).unwrap();
+        let rec = ld.matmul(&f.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(matches!(Ldlt::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+}

@@ -1,0 +1,195 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! SpotWeb's portfolio constraint matrix is extremely sparse — box
+//! rows have one nonzero, budget rows have `N` — yet the QP API
+//! carries it densely for simplicity. The ADMM inner loop converts to
+//! CSR once and runs its per-iteration products at `O(nnz)` instead of
+//! `O(mn)`, which is what keeps hundred-market × long-horizon
+//! instances fast (Fig. 7(b)).
+
+use crate::{LinalgError, Matrix, Result};
+
+/// A CSR matrix: row pointers + column indices + values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Convert from dense, dropping entries with `|v| <= tol`.
+    pub fn from_dense(m: &Matrix, tol: f64) -> CsrMatrix {
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for r in 0..rows {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v.abs() > tol {
+                    indices.push(c);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `y ← self · x`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "csr matvec: x/y length mismatch",
+            });
+        }
+        for r in 0..self.rows {
+            let mut s = 0.0;
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                s += self.data[k] * x[self.indices[k]];
+            }
+            y[r] = s;
+        }
+        Ok(())
+    }
+
+    /// `y ← selfᵀ · x`.
+    pub fn matvec_transpose_into(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.rows || y.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "csr matvec_transpose: x/y length mismatch",
+            });
+        }
+        y.iter_mut().for_each(|v| *v = 0.0);
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for k in self.indptr[r]..self.indptr[r + 1] {
+                y[self.indices[k]] += self.data[k] * xr;
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience allocating variants.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// `selfᵀ · x` into a fresh vector.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Result<Vec<f64>> {
+        let mut y = vec![0.0; self.cols];
+        self.matvec_transpose_into(x, &mut y)?;
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Matrix, CsrMatrix) {
+        let d = Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[0.0, 0.0, 0.0],
+            &[0.0, 3.0, 0.0],
+        ]);
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        (d, s)
+    }
+
+    #[test]
+    fn conversion_counts_nonzeros() {
+        let (_, s) = sample();
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 3);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let (d, s) = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(s.matvec(&x).unwrap(), d.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn matvec_transpose_matches_dense() {
+        let (d, s) = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(
+            s.matvec_transpose(&x).unwrap(),
+            d.matvec_transpose(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn tolerance_drops_small_entries() {
+        let d = Matrix::from_rows(&[&[1e-12, 1.0]]);
+        let s = CsrMatrix::from_dense(&d, 1e-9);
+        assert_eq!(s.nnz(), 1);
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let (_, s) = sample();
+        let mut y = vec![0.0; 2];
+        assert!(s.matvec_into(&[1.0; 3], &mut y).is_err());
+        assert!(s.matvec_transpose_into(&[1.0; 2], &mut [0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn random_matrices_agree_with_dense() {
+        // Deterministic pseudo-random pattern.
+        let mut d = Matrix::zeros(7, 5);
+        for i in 0..7 {
+            for j in 0..5 {
+                if (i * 5 + j) % 3 == 0 {
+                    d[(i, j)] = ((i + 2 * j) as f64 * 0.7).sin();
+                }
+            }
+        }
+        let s = CsrMatrix::from_dense(&d, 0.0);
+        let x: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let xr: Vec<f64> = (0..7).map(|i| (i as f64 * 0.4).cos()).collect();
+        for (a, b) in s.matvec(&x).unwrap().iter().zip(d.matvec(&x).unwrap()) {
+            assert!((a - b).abs() < 1e-14);
+        }
+        for (a, b) in s
+            .matvec_transpose(&xr)
+            .unwrap()
+            .iter()
+            .zip(d.matvec_transpose(&xr).unwrap())
+        {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+}

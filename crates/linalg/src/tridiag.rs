@@ -1,0 +1,93 @@
+//! Tridiagonal solver (Thomas algorithm).
+//!
+//! Natural cubic spline interpolation reduces to a tridiagonal system
+//! for the second derivatives at the knots; the Thomas algorithm solves
+//! it in O(n).
+
+use crate::{LinalgError, Result};
+
+/// Solve a tridiagonal system with sub-diagonal `a`, diagonal `b`,
+/// super-diagonal `c`, and right-hand side `d`.
+///
+/// Conventions: `a[0]` and `c[n-1]` are ignored (the system has `n`
+/// unknowns, `a` enters rows `1..n`, `c` enters rows `0..n-1`). All four
+/// slices must have length `n`.
+///
+/// The Thomas algorithm is stable for diagonally dominant systems,
+/// which the cubic-spline system always is.
+pub fn solve_tridiagonal(a: &[f64], b: &[f64], c: &[f64], d: &[f64]) -> Result<Vec<f64>> {
+    let n = b.len();
+    if a.len() != n || c.len() != n || d.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "tridiagonal: all bands must share one length",
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut cp = vec![0.0; n];
+    let mut dp = vec![0.0; n];
+    if b[0].abs() < 1e-300 {
+        return Err(LinalgError::Singular { pivot: 0 });
+    }
+    cp[0] = c[0] / b[0];
+    dp[0] = d[0] / b[0];
+    for i in 1..n {
+        let m = b[i] - a[i] * cp[i - 1];
+        if m.abs() < 1e-300 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        cp[i] = c[i] / m;
+        dp[i] = (d[i] - a[i] * dp[i - 1]) / m;
+    }
+    let mut x = dp;
+    for i in (0..n - 1).rev() {
+        let next = x[i + 1];
+        x[i] -= cp[i] * next;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // [[2, 1, 0], [1, 2, 1], [0, 1, 2]] x = b.
+        let a = [0.0, 1.0, 1.0];
+        let b = [2.0, 2.0, 2.0];
+        let c = [1.0, 1.0, 0.0];
+        let x_true = [1.0, 2.0, 3.0];
+        let d = [
+            2.0 * x_true[0] + x_true[1],
+            x_true[0] + 2.0 * x_true[1] + x_true[2],
+            x_true[1] + 2.0 * x_true[2],
+        ];
+        let x = solve_tridiagonal(&a, &b, &c, &d).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_unknown() {
+        let x = solve_tridiagonal(&[0.0], &[4.0], &[0.0], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn empty_system() {
+        assert!(solve_tridiagonal(&[], &[], &[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_zero_pivot() {
+        assert!(solve_tridiagonal(&[0.0], &[0.0], &[0.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        assert!(solve_tridiagonal(&[0.0], &[1.0, 1.0], &[0.0], &[1.0]).is_err());
+    }
+}

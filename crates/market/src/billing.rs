@@ -1,0 +1,101 @@
+//! Cost accounting.
+//!
+//! Most clouds bill per second today (§5.1 of the paper notes Azure is
+//! the holdout with hourly billing). The meter supports both
+//! granularities so the billing-model ablation can quantify the
+//! difference.
+
+/// Billing granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BillingModel {
+    /// Pay exactly for the seconds used (EC2, GCP).
+    PerSecond,
+    /// Every started hour is charged in full (classic Azure).
+    Hourly,
+}
+
+/// Accumulates spend for a fleet over simulated time.
+#[derive(Debug, Clone)]
+pub struct CostMeter {
+    model: BillingModel,
+    total: f64,
+    /// Per-market cumulative spend.
+    per_market: Vec<f64>,
+}
+
+impl CostMeter {
+    /// New meter for `markets` markets.
+    pub fn new(markets: usize, model: BillingModel) -> Self {
+        CostMeter {
+            model,
+            total: 0.0,
+            per_market: vec![0.0; markets],
+        }
+    }
+
+    /// Charge for running `count` servers of market `id` at `price`
+    /// ($/hour) for `duration_secs` seconds.
+    pub fn charge(&mut self, id: usize, count: u32, price_per_hour: f64, duration_secs: f64) {
+        assert!(duration_secs >= 0.0 && price_per_hour >= 0.0);
+        let hours = match self.model {
+            BillingModel::PerSecond => duration_secs / 3600.0,
+            BillingModel::Hourly => (duration_secs / 3600.0).ceil(),
+        };
+        let cost = count as f64 * price_per_hour * hours;
+        self.total += cost;
+        self.per_market[id] += cost;
+    }
+
+    /// Total spend so far ($).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Spend attributed to market `id` ($).
+    pub fn market_total(&self, id: usize) -> f64 {
+        self.per_market[id]
+    }
+
+    /// Per-market spends ($), indexed by market id.
+    pub fn per_market(&self) -> &[f64] {
+        &self.per_market
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_second_is_proportional() {
+        let mut m = CostMeter::new(1, BillingModel::PerSecond);
+        m.charge(0, 2, 1.0, 1800.0); // 2 servers × $1/h × 0.5 h
+        assert!((m.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hourly_rounds_up() {
+        let mut m = CostMeter::new(1, BillingModel::Hourly);
+        m.charge(0, 1, 1.0, 61.0); // just over a minute → a full hour
+        assert_eq!(m.total(), 1.0);
+        m.charge(0, 1, 1.0, 3600.0);
+        assert_eq!(m.total(), 2.0);
+    }
+
+    #[test]
+    fn per_market_attribution() {
+        let mut m = CostMeter::new(2, BillingModel::PerSecond);
+        m.charge(0, 1, 2.0, 3600.0);
+        m.charge(1, 1, 3.0, 3600.0);
+        assert_eq!(m.market_total(0), 2.0);
+        assert_eq!(m.market_total(1), 3.0);
+        assert_eq!(m.total(), 5.0);
+    }
+
+    #[test]
+    fn zero_duration_is_free() {
+        let mut m = CostMeter::new(1, BillingModel::PerSecond);
+        m.charge(0, 10, 5.0, 0.0);
+        assert_eq!(m.total(), 0.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! Instance-type catalog modeled on Amazon EC2.
+//!
+//! The catalog provides the static side of a market: hardware shape,
+//! on-demand price, and serving capacity `r_i` (requests/second with no
+//! SLO violations, §4.2 of the paper). Capacities follow the paper's
+//! own numbers — r5d.24xlarge serves 1920 req/s and r5.4xlarge serves
+//! 320 req/s, i.e. 20 req/s per vCPU — so we use that scaling for the
+//! whole catalog.
+
+/// Identifier of a market: an index into the catalog's market list.
+pub type MarketId = usize;
+
+/// Requests/second one vCPU sustains for the MediaWiki-style read-heavy
+/// workload the paper benchmarks (derived from the paper's capacities:
+/// 1920 req/s on 96 vCPUs).
+pub const RPS_PER_VCPU: f64 = 20.0;
+
+/// A hardware configuration offered by the cloud provider.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceType {
+    /// EC2-style name, e.g. `"m4.xlarge"`.
+    pub name: String,
+    /// Instance family (`"m4"`, `"r5"`, …) — revocation dynamics are
+    /// correlated within a family because spot pools share capacity.
+    pub family: String,
+    /// Virtual CPU count.
+    pub vcpus: u32,
+    /// Memory in GiB.
+    pub memory_gb: f64,
+    /// On-demand price in $/hour.
+    pub on_demand_price: f64,
+    /// Serving capacity `r_i` in requests/second.
+    pub capacity_rps: f64,
+}
+
+impl InstanceType {
+    /// Build an instance type with capacity derived from vCPUs.
+    pub fn new(name: &str, vcpus: u32, memory_gb: f64, on_demand_price: f64) -> Self {
+        let family = name.split('.').next().unwrap_or(name).to_string();
+        InstanceType {
+            name: name.to_string(),
+            family,
+            vcpus,
+            memory_gb,
+            on_demand_price,
+            capacity_rps: vcpus as f64 * RPS_PER_VCPU,
+        }
+    }
+
+    /// On-demand price per request-second (`price / r_i`), the
+    /// normalized cost the optimizer compares across configurations.
+    pub fn on_demand_cost_per_request(&self) -> f64 {
+        self.on_demand_price / self.capacity_rps
+    }
+}
+
+/// How a market is purchased.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarketKind {
+    /// Non-revocable, fixed price.
+    OnDemand,
+    /// Revocable transient server (EC2 Spot / GCP preemptible style).
+    Spot,
+}
+
+/// A market: one instance configuration under one purchasing model.
+/// A catalog of `S` instance types yields `N = 2S` markets (paper §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Market {
+    /// Stable identifier (index into [`Catalog::markets`]).
+    pub id: MarketId,
+    /// The hardware configuration.
+    pub instance: InstanceType,
+    /// Purchasing model.
+    pub kind: MarketKind,
+    /// Baseline revocation probability per decision interval (0 for
+    /// on-demand). Synthetic stand-in for AWS's Spot Instance Advisor
+    /// buckets (<5%, 5–10%, 10–15%, 15–20%).
+    pub base_revocation_prob: f64,
+}
+
+impl Market {
+    /// `true` for revocable markets.
+    pub fn is_transient(&self) -> bool {
+        self.kind == MarketKind::Spot
+    }
+
+    /// Serving capacity of one server in this market (req/s).
+    pub fn capacity_rps(&self) -> f64 {
+        self.instance.capacity_rps
+    }
+}
+
+/// A set of markets the optimizer selects from.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    markets: Vec<Market>,
+}
+
+/// Spot discount relative to on-demand used as the long-run mean of the
+/// price process (paper §1: transient servers are 70–90% cheaper; we
+/// center at 70% off).
+pub const SPOT_BASE_DISCOUNT: f64 = 0.30;
+
+impl Catalog {
+    /// Build a catalog from instance types. Each type yields a spot
+    /// market; when `include_on_demand` is set, an on-demand market too.
+    ///
+    /// `revocation_probs` gives the per-type baseline revocation
+    /// probability (used for the spot market); it must match
+    /// `types.len()`.
+    pub fn new(types: Vec<InstanceType>, revocation_probs: Vec<f64>, include_on_demand: bool) -> Self {
+        assert_eq!(
+            types.len(),
+            revocation_probs.len(),
+            "one revocation probability per instance type"
+        );
+        let mut markets = Vec::new();
+        for (ty, &f) in types.iter().zip(&revocation_probs) {
+            assert!((0.0..=1.0).contains(&f), "revocation prob in [0,1]");
+            markets.push(Market {
+                id: markets.len(),
+                instance: ty.clone(),
+                kind: MarketKind::Spot,
+                base_revocation_prob: f,
+            });
+        }
+        if include_on_demand {
+            for ty in &types {
+                markets.push(Market {
+                    id: markets.len(),
+                    instance: ty.clone(),
+                    kind: MarketKind::OnDemand,
+                    base_revocation_prob: 0.0,
+                });
+            }
+        }
+        Catalog { markets }
+    }
+
+    /// Build directly from a market list (ids are re-stamped to match
+    /// positions). Used by provider profiles that post-process a
+    /// standard catalog.
+    pub fn from_markets(markets: Vec<Market>) -> Catalog {
+        let markets = markets
+            .into_iter()
+            .enumerate()
+            .map(|(id, mut m)| {
+                m.id = id;
+                m
+            })
+            .collect();
+        Catalog { markets }
+    }
+
+    /// All markets, ordered by id.
+    pub fn markets(&self) -> &[Market] {
+        &self.markets
+    }
+
+    /// Number of markets (`N`).
+    pub fn len(&self) -> usize {
+        self.markets.len()
+    }
+
+    /// `true` when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.markets.is_empty()
+    }
+
+    /// Look up a market by id.
+    pub fn market(&self, id: MarketId) -> &Market {
+        &self.markets[id]
+    }
+
+    /// Find a market by instance name and kind.
+    pub fn find(&self, name: &str, kind: MarketKind) -> Option<&Market> {
+        self.markets
+            .iter()
+            .find(|m| m.instance.name == name && m.kind == kind)
+    }
+
+    /// The three-market catalog of the paper's Fig. 5 experiment:
+    /// r5d.24xlarge (1920 req/s), r5.4xlarge (320 req/s),
+    /// r4.4xlarge (320 req/s); spot only, equal sub-5% revocation
+    /// probabilities (as the paper assumes there).
+    pub fn fig5_three_markets() -> Catalog {
+        let types = vec![
+            InstanceType::new("r5d.24xlarge", 96, 768.0, 6.912),
+            InstanceType::new("r5.4xlarge", 16, 128.0, 1.008),
+            InstanceType::new("r4.4xlarge", 16, 122.0, 1.064),
+        ];
+        Catalog::new(types, vec![0.04, 0.04, 0.04], false)
+    }
+
+    /// The six-server testbed mix of the paper's Fig. 4(a) experiment:
+    /// m4.xlarge, m4.2xlarge, m4.4xlarge (spot).
+    pub fn fig4_testbed() -> Catalog {
+        let types = vec![
+            InstanceType::new("m4.xlarge", 4, 16.0, 0.20),
+            InstanceType::new("m4.2xlarge", 8, 32.0, 0.40),
+            InstanceType::new("m4.4xlarge", 16, 64.0, 0.80),
+        ];
+        Catalog::new(types, vec![0.05, 0.05, 0.05], false)
+    }
+
+    /// A 36-market catalog modeled on the conventional-x86 EC2
+    /// us-east-1 types the paper's Fig. 6(b) experiment sweeps
+    /// (m4/m5/c4/c5/r4/r5/x1e families, no GPUs). vCPU, memory and
+    /// on-demand prices follow the 2018 us-east-1 price sheet.
+    pub fn ec2_us_east_36() -> Catalog {
+        #[rustfmt::skip]
+        let spec: [(&str, u32, f64, f64); 36] = [
+            ("m4.large",      2,   8.0, 0.10),
+            ("m4.xlarge",     4,  16.0, 0.20),
+            ("m4.2xlarge",    8,  32.0, 0.40),
+            ("m4.4xlarge",   16,  64.0, 0.80),
+            ("m4.10xlarge",  40, 160.0, 2.00),
+            ("m4.16xlarge",  64, 256.0, 3.20),
+            ("m5.large",      2,   8.0, 0.096),
+            ("m5.xlarge",     4,  16.0, 0.192),
+            ("m5.2xlarge",    8,  32.0, 0.384),
+            ("m5.4xlarge",   16,  64.0, 0.768),
+            ("m5.12xlarge",  48, 192.0, 2.304),
+            ("m5.24xlarge",  96, 384.0, 4.608),
+            ("c4.large",      2,   3.75, 0.10),
+            ("c4.xlarge",     4,   7.5, 0.199),
+            ("c4.2xlarge",    8,  15.0, 0.398),
+            ("c4.4xlarge",   16,  30.0, 0.796),
+            ("c4.8xlarge",   36,  60.0, 1.591),
+            ("c5.large",      2,   4.0, 0.085),
+            ("c5.xlarge",     4,   8.0, 0.17),
+            ("c5.2xlarge",    8,  16.0, 0.34),
+            ("c5.4xlarge",   16,  32.0, 0.68),
+            ("c5.9xlarge",   36,  72.0, 1.53),
+            ("c5.18xlarge",  72, 144.0, 3.06),
+            ("r4.large",      2,  15.25, 0.133),
+            ("r4.xlarge",     4,  30.5, 0.266),
+            ("r4.2xlarge",    8,  61.0, 0.532),
+            ("r4.4xlarge",   16, 122.0, 1.064),
+            ("r4.8xlarge",   32, 244.0, 2.128),
+            ("r4.16xlarge",  64, 488.0, 4.256),
+            ("r5.large",      2,  16.0, 0.126),
+            ("r5.xlarge",     4,  32.0, 0.252),
+            ("r5.2xlarge",    8,  64.0, 0.504),
+            ("r5.4xlarge",   16, 128.0, 1.008),
+            ("r5.12xlarge",  48, 384.0, 3.024),
+            ("r5.24xlarge",  96, 768.0, 6.048),
+            ("x1e.16xlarge", 64, 1952.0, 13.344),
+        ];
+        let types: Vec<InstanceType> = spec
+            .iter()
+            .map(|&(n, v, m, p)| InstanceType::new(n, v, m, p))
+            .collect();
+        // Spot-advisor-style buckets, deterministic per index: larger
+        // instances in a family tend to be reclaimed more often.
+        let probs: Vec<f64> = (0..types.len())
+            .map(|i| match i % 4 {
+                0 => 0.03,
+                1 => 0.05,
+                2 => 0.08,
+                _ => 0.12,
+            })
+            .collect();
+        Catalog::new(types, probs, false)
+    }
+
+    /// First `n` markets of [`Catalog::ec2_us_east_36`] — used by the
+    /// market-count sweeps of Fig. 6(b) and Fig. 7(b).
+    pub fn ec2_subset(n: usize) -> Catalog {
+        let full = Self::ec2_us_east_36();
+        assert!(n >= 1 && n <= full.len(), "subset size out of range");
+        let markets = full.markets[..n]
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(id, mut m)| {
+                m.id = id;
+                m
+            })
+            .collect();
+        Catalog { markets }
+    }
+
+    /// Extend the catalog with on-demand twins of every spot market
+    /// (for experiments that let the optimizer fall back to on-demand).
+    pub fn with_on_demand(&self) -> Catalog {
+        let mut markets = self.markets.clone();
+        let spot_count = markets.len();
+        for i in 0..spot_count {
+            if markets[i].kind == MarketKind::Spot {
+                let mut od = markets[i].clone();
+                od.id = markets.len();
+                od.kind = MarketKind::OnDemand;
+                od.base_revocation_prob = 0.0;
+                markets.push(od);
+            }
+        }
+        Catalog { markets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_scaling_matches_paper() {
+        let c = Catalog::fig5_three_markets();
+        assert_eq!(c.market(0).capacity_rps(), 1920.0);
+        assert_eq!(c.market(1).capacity_rps(), 320.0);
+        assert_eq!(c.market(2).capacity_rps(), 320.0);
+    }
+
+    #[test]
+    fn family_parsed_from_name() {
+        let ty = InstanceType::new("r5d.24xlarge", 96, 768.0, 6.912);
+        assert_eq!(ty.family, "r5d");
+    }
+
+    #[test]
+    fn cost_per_request_ordering() {
+        // Larger instances in the same family have similar normalized
+        // cost; x1e (memory-heavy) is the most expensive per request.
+        let c = Catalog::ec2_us_east_36();
+        let x1e = c.find("x1e.16xlarge", MarketKind::Spot).unwrap();
+        let m5 = c.find("m5.large", MarketKind::Spot).unwrap();
+        assert!(
+            x1e.instance.on_demand_cost_per_request() > m5.instance.on_demand_cost_per_request()
+        );
+    }
+
+    #[test]
+    fn thirty_six_markets() {
+        assert_eq!(Catalog::ec2_us_east_36().len(), 36);
+    }
+
+    #[test]
+    fn subset_reindexes() {
+        let c = Catalog::ec2_subset(9);
+        assert_eq!(c.len(), 9);
+        for (i, m) in c.markets().iter().enumerate() {
+            assert_eq!(m.id, i);
+        }
+    }
+
+    #[test]
+    fn with_on_demand_doubles() {
+        let c = Catalog::fig5_three_markets().with_on_demand();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.market(3).kind, MarketKind::OnDemand);
+        assert_eq!(c.market(3).base_revocation_prob, 0.0);
+        assert_eq!(c.market(3).instance.name, c.market(0).instance.name);
+    }
+
+    #[test]
+    fn find_by_name_and_kind() {
+        let c = Catalog::fig4_testbed();
+        assert!(c.find("m4.2xlarge", MarketKind::Spot).is_some());
+        assert!(c.find("m4.2xlarge", MarketKind::OnDemand).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one revocation probability")]
+    fn mismatched_probs_panic() {
+        Catalog::new(
+            vec![InstanceType::new("m4.large", 2, 8.0, 0.1)],
+            vec![],
+            false,
+        );
+    }
+}

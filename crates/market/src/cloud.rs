@@ -1,0 +1,165 @@
+//! Stepped façade over the whole market substrate.
+//!
+//! `CloudSim` advances price and revocation dynamics together, records
+//! them into a [`MarketHistory`], and samples revocation events for a
+//! fleet. It is the single object the discrete-event simulator and the
+//! figure harness drive per decision interval.
+
+use crate::catalog::Catalog;
+use crate::history::MarketHistory;
+use crate::price::SpotPriceProcess;
+use crate::revocation::{RevocationEvent, RevocationModel};
+
+/// One decision interval's market observations.
+#[derive(Debug, Clone)]
+pub struct MarketTick {
+    /// Current $/hour prices, indexed by market id.
+    pub prices: Vec<f64>,
+    /// Current per-interval revocation probabilities.
+    pub failure_probs: Vec<f64>,
+}
+
+/// The combined transient-cloud simulator.
+#[derive(Debug, Clone)]
+pub struct CloudSim {
+    catalog: Catalog,
+    prices: SpotPriceProcess,
+    revocations: RevocationModel,
+    history: MarketHistory,
+}
+
+impl CloudSim {
+    /// Build a cloud simulation over `catalog`, keeping `history_len`
+    /// intervals of history. The seed derives independent sub-streams
+    /// for prices and revocations.
+    pub fn new(catalog: Catalog, seed: u64, history_len: usize) -> Self {
+        let prices = SpotPriceProcess::new(&catalog, seed.wrapping_mul(2).wrapping_add(1));
+        let revocations = RevocationModel::new(&catalog, seed.wrapping_mul(2).wrapping_add(2));
+        let history = MarketHistory::new(catalog.len(), history_len);
+        CloudSim {
+            catalog,
+            prices,
+            revocations,
+            history,
+        }
+    }
+
+    /// Assemble from already-built components (used by
+    /// [`crate::providers::Provider`] profiles that customize the price
+    /// process or revocation model).
+    pub fn from_parts(
+        catalog: Catalog,
+        prices: SpotPriceProcess,
+        revocations: RevocationModel,
+        history_len: usize,
+    ) -> Self {
+        let history = MarketHistory::new(catalog.len(), history_len);
+        CloudSim {
+            catalog,
+            prices,
+            revocations,
+            history,
+        }
+    }
+
+    /// The market catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Rolling observation history (read by predictors / covariance).
+    pub fn history(&self) -> &MarketHistory {
+        &self.history
+    }
+
+    /// Revocation warning period in seconds.
+    pub fn warning_secs(&self) -> f64 {
+        self.revocations.warning_secs
+    }
+
+    /// Advance one decision interval and record the new observations.
+    pub fn step(&mut self) -> MarketTick {
+        self.prices.step();
+        let surging: Vec<bool> = (0..self.catalog.len())
+            .map(|i| self.prices.is_surging(i))
+            .collect();
+        self.revocations.step(&surging);
+        let tick = MarketTick {
+            prices: self.prices.prices(),
+            failure_probs: self.revocations.probabilities().to_vec(),
+        };
+        self.history.record(&tick.prices, &tick.failure_probs);
+        tick
+    }
+
+    /// Warm up the simulation (and history) by `steps` intervals —
+    /// predictors need a filled window before the experiment proper.
+    pub fn warm_up(&mut self, steps: usize) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Latest observations without advancing.
+    pub fn current(&self) -> MarketTick {
+        MarketTick {
+            prices: self.prices.prices(),
+            failure_probs: self.revocations.probabilities().to_vec(),
+        }
+    }
+
+    /// Sample revocation events for this interval given a fleet
+    /// (`fleet[i]` = running servers in market `i`).
+    pub fn sample_revocations(&mut self, fleet: &[u32]) -> Vec<RevocationEvent> {
+        self.revocations.sample_events(fleet, 1.0)
+    }
+
+    /// Per-request price of market `id` right now (`price / r_i`) —
+    /// the series Fig. 5(a) plots.
+    pub fn per_request_price(&self, id: usize) -> f64 {
+        self.prices.price(id) / self.catalog.market(id).capacity_rps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn step_records_history() {
+        let mut c = CloudSim::new(Catalog::fig5_three_markets(), 1, 100);
+        assert!(c.history().is_empty());
+        c.step();
+        c.step();
+        assert_eq!(c.history().len(), 2);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let run = |seed| {
+            let mut c = CloudSim::new(Catalog::fig5_three_markets(), seed, 10);
+            c.warm_up(20);
+            c.current().prices
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn per_request_price_scales_by_capacity() {
+        let mut c = CloudSim::new(Catalog::fig5_three_markets(), 2, 10);
+        c.step();
+        let tick = c.current();
+        let expected = tick.prices[0] / 1920.0;
+        assert!((c.per_request_price(0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_revocations_respects_fleet() {
+        let mut c = CloudSim::new(Catalog::ec2_us_east_36(), 3, 10);
+        c.warm_up(5);
+        let fleet = vec![0u32; 36];
+        assert!(c.sample_revocations(&fleet).is_empty());
+    }
+}

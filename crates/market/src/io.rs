@@ -1,0 +1,184 @@
+//! CSV import/export of market price histories.
+//!
+//! The paper open-sources its EC2 price and revocation data; this
+//! module provides the interchange surface so users can replay *real*
+//! provider data through any experiment (via
+//! [`SpotPriceProcess::replay`](crate::price::SpotPriceProcess::replay)
+//! and [`CloudSim::from_parts`](crate::cloud::CloudSim::from_parts)).
+//!
+//! Format: a header row `step,<market-0-name>,<market-1-name>,…`
+//! followed by one row per decision interval with $/hour prices.
+
+use std::io::{BufRead, Write};
+
+use crate::catalog::Catalog;
+
+/// Error type for price-matrix IO.
+#[derive(Debug)]
+pub enum PriceIoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A row failed to parse or had the wrong arity.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        reason: String,
+    },
+    /// No data rows.
+    Empty,
+}
+
+impl core::fmt::Display for PriceIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PriceIoError::Io(e) => write!(f, "io error: {e}"),
+            PriceIoError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+            PriceIoError::Empty => write!(f, "price file has no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for PriceIoError {}
+
+impl From<std::io::Error> for PriceIoError {
+    fn from(e: std::io::Error) -> Self {
+        PriceIoError::Io(e)
+    }
+}
+
+/// Write a price matrix (`rows[t][i]`, market-major columns) as CSV.
+pub fn write_price_csv<W: Write>(
+    catalog: &Catalog,
+    rows: &[Vec<f64>],
+    mut w: W,
+) -> Result<(), PriceIoError> {
+    let names: Vec<&str> = catalog
+        .markets()
+        .iter()
+        .map(|m| m.instance.name.as_str())
+        .collect();
+    writeln!(w, "step,{}", names.join(","))?;
+    for (t, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), catalog.len(), "row {t}: one price per market");
+        let cells: Vec<String> = row.iter().map(|p| format!("{p}")).collect();
+        writeln!(w, "{t},{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Read a price matrix produced by [`write_price_csv`] (or assembled
+/// from real provider data in the same shape). The market count is
+/// taken from the header; data rows must match it.
+pub fn read_price_csv<R: BufRead>(r: R) -> Result<Vec<Vec<f64>>, PriceIoError> {
+    let mut rows = Vec::new();
+    let mut expected_cols: Option<usize> = None;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if lineno == 0 {
+            expected_cols = Some(line.split(',').count().saturating_sub(1));
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        let expected = expected_cols.unwrap_or(0);
+        if cells.len() != expected + 1 {
+            return Err(PriceIoError::Parse {
+                line: lineno + 1,
+                reason: format!("expected {} columns, got {}", expected + 1, cells.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(expected);
+        for c in &cells[1..] {
+            let p: f64 = c.trim().parse().map_err(|e| PriceIoError::Parse {
+                line: lineno + 1,
+                reason: format!("bad price: {e}"),
+            })?;
+            if !p.is_finite() || p <= 0.0 {
+                return Err(PriceIoError::Parse {
+                    line: lineno + 1,
+                    reason: "prices must be positive".into(),
+                });
+            }
+            row.push(p);
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(PriceIoError::Empty);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::CloudSim;
+    use crate::price::SpotPriceProcess;
+    use crate::revocation::RevocationModel;
+
+    #[test]
+    fn round_trip_and_replay() {
+        let catalog = Catalog::fig5_three_markets();
+        // Record a simulated history…
+        let mut recorder = SpotPriceProcess::new(&catalog, 7);
+        let rows = recorder.generate(24);
+        let mut buf = Vec::new();
+        write_price_csv(&catalog, &rows, &mut buf).unwrap();
+        // …read it back and replay it through a fresh CloudSim.
+        let back = read_price_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 24);
+        let replay = SpotPriceProcess::replay(&catalog, back.clone());
+        let revocations = RevocationModel::new(&catalog, 9);
+        let mut cloud = CloudSim::from_parts(catalog, replay, revocations, 64);
+        for want in &back[1..] {
+            let tick = cloud.step();
+            for (got, expect) in tick.prices.iter().zip(want) {
+                assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+            }
+        }
+        // Past the recording the last row holds.
+        let last = cloud.step().prices;
+        for (got, expect) in last.iter().zip(back.last().unwrap()) {
+            assert!((got - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let data = "step,a,b\n0,1.0,2.0\n1,1.0\n";
+        assert!(matches!(
+            read_price_csv(data.as_bytes()),
+            Err(PriceIoError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_positive() {
+        let data = "step,a\n0,0.0\n";
+        assert!(read_price_csv(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let data = "step,a\n";
+        assert!(matches!(read_price_csv(data.as_bytes()), Err(PriceIoError::Empty)));
+    }
+
+    #[test]
+    fn per_request_price_uses_replayed_values() {
+        let catalog = Catalog::fig5_three_markets();
+        let rows = vec![vec![1.92, 0.32, 0.32]];
+        let replay = SpotPriceProcess::replay(&catalog, rows);
+        let revocations = RevocationModel::new(&catalog, 1);
+        let mut cloud = CloudSim::from_parts(catalog, replay, revocations, 8);
+        cloud.step();
+        assert!((cloud.per_request_price(0) - 1.92 / 1920.0).abs() < 1e-12);
+        assert!((cloud.per_request_price(1) - 0.32 / 320.0).abs() < 1e-12);
+    }
+}

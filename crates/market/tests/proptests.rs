@@ -1,0 +1,92 @@
+//! Property tests on the market substrate: invariants of the price
+//! process, revocation model and covariance estimators under random
+//! seeds and catalog subsets.
+
+use proptest::prelude::*;
+use spotweb_linalg::Cholesky;
+use spotweb_market::{
+    estimate_correlation, estimate_covariance, Catalog, CloudSim, Provider,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Spot prices stay within (0, on-demand] for any seed and length.
+    #[test]
+    fn prices_always_bounded(seed in 0u64..10_000, steps in 1usize..300, n in 1usize..36) {
+        let catalog = Catalog::ec2_subset(n);
+        let mut cloud = CloudSim::new(catalog.clone(), seed, 8);
+        for _ in 0..steps {
+            let tick = cloud.step();
+            for (m, price) in catalog.markets().iter().zip(&tick.prices) {
+                prop_assert!(*price > 0.0);
+                prop_assert!(*price <= m.instance.on_demand_price + 1e-12);
+            }
+        }
+    }
+
+    /// Failure probabilities stay within [0, 0.9] and on-demand markets
+    /// never report risk.
+    #[test]
+    fn failure_probs_bounded(seed in 0u64..10_000, steps in 1usize..200) {
+        let catalog = Catalog::fig5_three_markets().with_on_demand();
+        let mut cloud = CloudSim::new(catalog.clone(), seed, 8);
+        for _ in 0..steps {
+            let tick = cloud.step();
+            for (m, f) in catalog.markets().iter().zip(&tick.failure_probs) {
+                prop_assert!((0.0..=0.9).contains(f));
+                if !m.is_transient() {
+                    prop_assert_eq!(*f, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Both risk-matrix estimators always produce Cholesky-factorable
+    /// (positive definite) matrices on any recorded history.
+    #[test]
+    fn risk_estimators_always_pd(seed in 0u64..10_000, steps in 2usize..120) {
+        let catalog = Catalog::ec2_subset(6);
+        let mut cloud = CloudSim::new(catalog, seed, 256);
+        cloud.warm_up(steps);
+        let series = cloud.history().failure_matrix();
+        prop_assert!(Cholesky::factor(&estimate_covariance(&series, 0.1)).is_ok());
+        let corr = estimate_correlation(&series, 0.1);
+        prop_assert!(Cholesky::factor(&corr).is_ok());
+        // Correlation diagonals are 1 (+ ridge).
+        for i in 0..corr.rows() {
+            prop_assert!((corr[(i, i)] - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// Revocation sampling never revokes more servers than deployed,
+    /// and only from transient markets.
+    #[test]
+    fn revocations_respect_fleet(seed in 0u64..10_000, fleet_size in 0u32..8) {
+        let catalog = Catalog::fig5_three_markets().with_on_demand();
+        let mut cloud = CloudSim::new(catalog.clone(), seed, 8);
+        cloud.warm_up(12);
+        let fleet = vec![fleet_size; catalog.len()];
+        let events = cloud.sample_revocations(&fleet);
+        let mut per_market = vec![0u32; catalog.len()];
+        for e in &events {
+            per_market[e.market] += 1;
+            prop_assert!(catalog.market(e.market).is_transient());
+        }
+        for (&revoked, &deployed) in per_market.iter().zip(&fleet) {
+            prop_assert!(revoked <= deployed);
+        }
+    }
+
+    /// GCP profile: constant prices regardless of seed or duration.
+    #[test]
+    fn gcp_prices_constant(seed in 0u64..10_000, steps in 2usize..100) {
+        let mut cloud = Provider::GcpPreemptible.cloud(Catalog::ec2_subset(4), seed, 8);
+        cloud.step();
+        let first = cloud.current().prices;
+        for _ in 0..steps {
+            cloud.step();
+            prop_assert_eq!(&cloud.current().prices, &first);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Revocation-probability predictors.
+//!
+//! §5.1 of the paper: "for almost all markets, there is no, to very
+//! little dynamics, in the revocation probability. The failure
+//! predictions in our experiments are thus done reactively" — the
+//! forecast for every horizon step is the currently measured
+//! probability. We also provide an EWMA variant that smooths the
+//! idiosyncratic wiggle, useful when the monitoring signal is noisy.
+
+use crate::SeriesPredictor;
+
+/// Reactive failure predictor: flat at the last observed probability.
+pub type ReactiveFailurePredictor = crate::baseline::ReactivePredictor;
+
+/// Exponentially weighted moving-average failure predictor.
+#[derive(Debug, Clone)]
+pub struct EwmaFailurePredictor {
+    alpha: f64,
+    level: Option<f64>,
+    count: usize,
+}
+
+impl EwmaFailurePredictor {
+    /// Smoothing factor `alpha ∈ (0, 1]` (1.0 degenerates to reactive).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        EwmaFailurePredictor {
+            alpha,
+            level: None,
+            count: 0,
+        }
+    }
+}
+
+impl SeriesPredictor for EwmaFailurePredictor {
+    fn observe(&mut self, value: f64) {
+        self.level = Some(match self.level {
+            None => value,
+            Some(l) => self.alpha * value + (1.0 - self.alpha) * l,
+        });
+        self.count += 1;
+    }
+
+    fn predict(&self, horizon: usize) -> Vec<f64> {
+        vec![self.level.unwrap_or(0.0).clamp(0.0, 1.0); horizon]
+    }
+
+    fn observations(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_smooths() {
+        let mut p = EwmaFailurePredictor::new(0.5);
+        p.observe(0.0);
+        p.observe(1.0);
+        assert_eq!(p.predict(2), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn alpha_one_is_reactive() {
+        let mut p = EwmaFailurePredictor::new(1.0);
+        p.observe(0.2);
+        p.observe(0.8);
+        assert_eq!(p.predict(1), vec![0.8]);
+    }
+
+    #[test]
+    fn clamped_to_probability_range() {
+        let mut p = EwmaFailurePredictor::new(1.0);
+        p.observe(1.7); // bad input from a broken monitor
+        assert_eq!(p.predict(1), vec![1.0]);
+    }
+
+    #[test]
+    fn empty_predicts_zero() {
+        let p = EwmaFailurePredictor::new(0.3);
+        assert_eq!(p.predict(3), vec![0.0; 3]);
+    }
+}

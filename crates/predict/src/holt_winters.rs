@@ -1,0 +1,187 @@
+//! Holt–Winters triple exponential smoothing (additive seasonality).
+//!
+//! §4.3: "SpotWeb can integrate any other predictors out-of-the-box."
+//! Holt–Winters is the classic alternative for seasonal series: level,
+//! trend and a per-phase seasonal component, each updated by an
+//! exponential smoother. It is cheaper than the spline refit (O(1) per
+//! observation) at some accuracy cost on weekly structure, making it
+//! the right choice for high-frequency decision intervals.
+
+use crate::SeriesPredictor;
+
+/// Additive Holt–Winters forecaster.
+#[derive(Debug, Clone)]
+pub struct HoltWintersPredictor {
+    /// Level smoothing factor.
+    pub alpha: f64,
+    /// Trend smoothing factor.
+    pub beta: f64,
+    /// Seasonal smoothing factor.
+    pub gamma: f64,
+    season_len: usize,
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    /// First `season_len` observations initialize the seasonal profile.
+    bootstrap: Vec<f64>,
+    count: usize,
+}
+
+impl HoltWintersPredictor {
+    /// Standard web-workload configuration: 24-sample season,
+    /// moderate smoothing.
+    pub fn daily() -> Self {
+        Self::new(24, 0.3, 0.05, 0.3)
+    }
+
+    /// Fully parameterized constructor. All factors in `(0, 1)`.
+    pub fn new(season_len: usize, alpha: f64, beta: f64, gamma: f64) -> Self {
+        assert!(season_len >= 2, "season must have at least two phases");
+        for (name, v) in [("alpha", alpha), ("beta", beta), ("gamma", gamma)] {
+            assert!(v > 0.0 && v < 1.0, "{name} must lie in (0,1)");
+        }
+        HoltWintersPredictor {
+            alpha,
+            beta,
+            gamma,
+            season_len,
+            level: 0.0,
+            trend: 0.0,
+            seasonal: vec![0.0; season_len],
+            bootstrap: Vec::with_capacity(season_len),
+            count: 0,
+        }
+    }
+
+    fn phase(&self) -> usize {
+        self.count % self.season_len
+    }
+}
+
+impl SeriesPredictor for HoltWintersPredictor {
+    fn observe(&mut self, value: f64) {
+        if self.bootstrap.len() < self.season_len {
+            self.bootstrap.push(value);
+            self.count += 1;
+            if self.bootstrap.len() == self.season_len {
+                // Initialize: level = season mean, seasonal = deviations.
+                let mean = self.bootstrap.iter().sum::<f64>() / self.season_len as f64;
+                self.level = mean;
+                self.trend = 0.0;
+                for (s, v) in self.seasonal.iter_mut().zip(&self.bootstrap) {
+                    *s = v - mean;
+                }
+            }
+            return;
+        }
+        let phase = self.phase();
+        let seasonal = self.seasonal[phase];
+        let prev_level = self.level;
+        self.level = self.alpha * (value - seasonal) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        self.seasonal[phase] = self.gamma * (value - self.level) + (1.0 - self.gamma) * seasonal;
+        self.count += 1;
+    }
+
+    fn predict(&self, horizon: usize) -> Vec<f64> {
+        if self.bootstrap.len() < self.season_len {
+            // Persistence until the seasonal profile exists.
+            let last = self.bootstrap.last().copied().unwrap_or(0.0);
+            return vec![last.max(0.0); horizon];
+        }
+        (1..=horizon)
+            .map(|h| {
+                let phase = (self.count + h - 1) % self.season_len;
+                (self.level + h as f64 * self.trend + self.seasonal[phase]).max(0.0)
+            })
+            .collect()
+    }
+
+    fn observations(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::ReactivePredictor;
+    use crate::metrics::{backtest, ErrorSummary};
+    use spotweb_workload::wikipedia_like;
+
+    #[test]
+    fn bootstrap_is_persistence() {
+        let mut p = HoltWintersPredictor::daily();
+        p.observe(10.0);
+        p.observe(20.0);
+        assert_eq!(p.predict(2), vec![20.0, 20.0]);
+    }
+
+    #[test]
+    fn learns_pure_seasonal_signal() {
+        let mut p = HoltWintersPredictor::new(4, 0.3, 0.05, 0.4);
+        let signal = [10.0, 20.0, 30.0, 20.0];
+        for cycle in 0..40 {
+            for &v in &signal {
+                let _ = cycle;
+                p.observe(v);
+            }
+        }
+        let f = p.predict(4);
+        for (got, want) in f.iter().zip(&signal) {
+            assert!((got - want).abs() < 1.0, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn tracks_linear_trend() {
+        let mut p = HoltWintersPredictor::new(4, 0.5, 0.3, 0.2);
+        for t in 0..200 {
+            p.observe(100.0 + 2.0 * t as f64);
+        }
+        let f = p.predict(2);
+        let expected = 100.0 + 2.0 * 201.0;
+        assert!(
+            (f[0] - expected).abs() < 0.05 * expected,
+            "{} vs {expected}",
+            f[0]
+        );
+        assert!(f[1] > f[0], "trend must continue");
+    }
+
+    #[test]
+    fn beats_reactive_on_diurnal_workload() {
+        let trace = wikipedia_like(5 * 7 * 24, 13);
+        let warmup = 2 * 7 * 24;
+        let hw = ErrorSummary::of(&backtest(
+            &mut HoltWintersPredictor::daily(),
+            &trace,
+            warmup,
+        ));
+        let reactive = ErrorSummary::of(&backtest(&mut ReactivePredictor::new(), &trace, warmup));
+        assert!(
+            hw.mae < reactive.mae,
+            "holt-winters {} vs reactive {}",
+            hw.mae,
+            reactive.mae
+        );
+    }
+
+    #[test]
+    fn forecasts_never_negative() {
+        let mut p = HoltWintersPredictor::new(4, 0.5, 0.3, 0.5);
+        for _ in 0..10 {
+            p.observe(1.0);
+        }
+        for _ in 0..20 {
+            p.observe(0.0);
+        }
+        assert!(p.predict(8).iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie")]
+    fn rejects_bad_factor() {
+        HoltWintersPredictor::new(4, 1.5, 0.1, 0.1);
+    }
+}

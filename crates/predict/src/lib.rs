@@ -1,0 +1,75 @@
+//! Transiency-aware predictors (paper §4.3, §5.2).
+//!
+//! SpotWeb's multi-period optimizer consumes *forecast vectors* over a
+//! horizon `H` for three quantities: request arrival rate, per-market
+//! price, and per-market revocation probability. This crate implements
+//! the paper's predictor stack plus the baselines it is evaluated
+//! against:
+//!
+//! * [`spline`] — cubic-spline regression over a two-week moving
+//!   window, the core of the workload predictor of Ali-Eldin et al.
+//!   \[1\] that SpotWeb extends. Our spline regresses on hour-of-week
+//!   (capturing the diurnal/weekly repetition the paper says splines
+//!   model well) plus a linear trend, through ridge least squares.
+//! * [`ar`] — the AR(1) residual model \[1\] uses for small spikes.
+//! * [`confidence`] — SpotWeb's extension: the upper bound of the 99%
+//!   confidence interval around each prediction becomes the
+//!   *over-provisioned* capacity target (§4.3).
+//! * [`baseline`] — the assembled predictors: [`baseline::SpotWebPredictor`]
+//!   (spline + AR + 99% CI upper bound, multi-horizon) and
+//!   [`baseline::AliEldinPredictor`] (spline + AR point prediction, the
+//!   Fig. 4(c) baseline), plus reactive / moving-average /
+//!   seasonal-naive predictors ("SpotWeb can integrate any other
+//!   predictors out-of-the-box").
+//! * [`price`] — mean-reverting price forecaster and an oracle (the
+//!   paper's Fig. 5/6(a) experiments assume an oracle predictor).
+//! * [`failure`] — the reactive revocation-probability predictor the
+//!   paper uses (§5.1: failure prediction "is done reactively").
+//! * [`holt_winters`] — triple exponential smoothing, the classic
+//!   seasonal alternative ("SpotWeb can integrate any other predictors
+//!   out-of-the-box").
+//! * [`noisy`] — controlled error injection around any predictor, the
+//!   instrument behind the Fig. 7(a) accuracy-sensitivity sweep.
+//! * [`metrics`] — relative-error distributions and
+//!   over/under-provisioning summaries (Fig. 4(c)/(d)).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ar;
+pub mod baseline;
+pub mod confidence;
+pub mod failure;
+pub mod holt_winters;
+pub mod metrics;
+pub mod noisy;
+pub mod price;
+pub mod spline;
+
+pub use baseline::{
+    AliEldinPredictor, MovingAveragePredictor, ReactivePredictor, SeasonalNaivePredictor,
+    SpotWebPredictor,
+};
+pub use holt_winters::HoltWintersPredictor;
+pub use noisy::NoisyPredictor;
+
+/// A streaming multi-horizon forecaster of a scalar series.
+///
+/// Implementations observe one value per decision interval and forecast
+/// the next `horizon` intervals. The contract mirrors how SpotWeb's
+/// optimizer polls its predictors (§5.1): observe, then predict, every
+/// interval.
+pub trait SeriesPredictor {
+    /// Record the value observed for the current interval.
+    fn observe(&mut self, value: f64);
+
+    /// Forecast the next `horizon` intervals (index 0 = next interval).
+    ///
+    /// Implementations must return exactly `horizon` finite,
+    /// non-negative values, falling back to persistence when the
+    /// history is too short to fit their model.
+    fn predict(&self, horizon: usize) -> Vec<f64>;
+
+    /// Number of observations consumed so far.
+    fn observations(&self) -> usize;
+}

@@ -1,0 +1,311 @@
+//! Cubic-spline regression over a moving window.
+//!
+//! The predictor of Ali-Eldin et al. \[1\] fits a cubic spline to a
+//! two-week moving window of hourly observations. A spline over raw
+//! time extrapolates poorly; what makes it work for web workloads is
+//! that the fit captures the *repeating* diurnal/weekly structure. We
+//! therefore regress the rate on a cubic truncated-power spline basis
+//! in **hour-of-week** (so the fitted curve is the weekly profile) plus
+//! a linear trend in absolute time (so growth extrapolates), using
+//! ridge-regularized least squares from `spotweb-linalg`.
+
+use std::collections::VecDeque;
+
+use spotweb_linalg::{lstsq::lstsq_ridge, Matrix};
+
+/// Hours in a week — the period of the seasonal basis.
+pub const WEEK_HOURS: f64 = 168.0;
+
+/// Default window: two weeks of hourly samples (paper §4.3).
+pub const DEFAULT_WINDOW: usize = 336;
+
+/// A *periodic* uniform cubic B-spline basis on `[0, period)`.
+///
+/// `num_knots` basis functions sit at evenly spaced centers; each is
+/// the standard C² cubic B-spline kernel with support spanning four
+/// knot intervals, wrapped around the period. Unlike the textbook
+/// truncated-power basis (which is catastrophically ill-conditioned
+/// beyond a handful of knots), B-splines have local support, so the
+/// design matrix stays well-conditioned at the knot densities a weekly
+/// profile needs, and periodicity comes for free from the wrapping.
+#[derive(Debug, Clone)]
+pub struct SplineBasis {
+    num_knots: usize,
+    period: f64,
+    spacing: f64,
+}
+
+/// The cubic B-spline kernel (support `|u| < 2`, unit knot spacing).
+fn bspline3(u: f64) -> f64 {
+    let a = u.abs();
+    if a < 1.0 {
+        (4.0 - 6.0 * a * a + 3.0 * a * a * a) / 6.0
+    } else if a < 2.0 {
+        let d = 2.0 - a;
+        d * d * d / 6.0
+    } else {
+        0.0
+    }
+}
+
+impl SplineBasis {
+    /// `num_knots ≥ 4` evenly spaced basis centers on `[0, period)`.
+    pub fn uniform(period: f64, num_knots: usize) -> Self {
+        assert!(period > 0.0 && num_knots >= 4);
+        SplineBasis {
+            num_knots,
+            period,
+            spacing: period / num_knots as f64,
+        }
+    }
+
+    /// Number of basis functions.
+    pub fn dim(&self) -> usize {
+        self.num_knots
+    }
+
+    /// Evaluate all basis functions at phase `t` (wrapped into the period).
+    pub fn eval(&self, t: f64) -> Vec<f64> {
+        let t = t.rem_euclid(self.period);
+        let mut row = vec![0.0; self.num_knots];
+        for (j, r) in row.iter_mut().enumerate() {
+            let center = j as f64 * self.spacing;
+            // Shortest periodic distance from t to this center.
+            let mut d = t - center;
+            if d > self.period / 2.0 {
+                d -= self.period;
+            } else if d < -self.period / 2.0 {
+                d += self.period;
+            }
+            *r = bspline3(d / self.spacing);
+        }
+        row
+    }
+}
+
+/// Cubic-spline regression fit over a moving window.
+///
+/// Call [`SplineModel::push`] once per hour; [`SplineModel::fitted_at`]
+/// evaluates the weekly profile + trend at any absolute hour, and
+/// [`SplineModel::residuals`] exposes in-window residuals for the AR
+/// spike model and the confidence-interval padding.
+#[derive(Debug, Clone)]
+pub struct SplineModel {
+    basis: SplineBasis,
+    window: VecDeque<(f64, f64)>, // (absolute hour, value)
+    capacity: usize,
+    ridge: f64,
+    /// Spline coefficients (None until first fit).
+    coeffs: Option<Vec<f64>>,
+    /// Linear trend coefficient per hour.
+    trend: f64,
+    /// Mean absolute time in the last fit (trend is centered).
+    t_center: f64,
+    total_observed: usize,
+}
+
+impl SplineModel {
+    /// New model with a two-week window and 28 weekly knots (one basis
+    /// center every 6 hours — dense enough for diurnal structure).
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_WINDOW, 28, 1e-6)
+    }
+
+    /// Configure window size, knot count and ridge penalty.
+    pub fn with_config(window: usize, knots: usize, ridge: f64) -> Self {
+        assert!(window >= 8, "window too small for a cubic fit");
+        SplineModel {
+            basis: SplineBasis::uniform(WEEK_HOURS, knots),
+            window: VecDeque::with_capacity(window),
+            capacity: window,
+            ridge,
+            coeffs: None,
+            trend: 0.0,
+            t_center: 0.0,
+            total_observed: 0,
+        }
+    }
+
+    /// Observations consumed so far (lifetime, not window).
+    pub fn observations(&self) -> usize {
+        self.total_observed
+    }
+
+    /// Absolute hour of the next expected observation.
+    pub fn next_hour(&self) -> f64 {
+        self.total_observed as f64
+    }
+
+    /// `true` when enough data is in the window to fit.
+    pub fn is_fit(&self) -> bool {
+        self.coeffs.is_some()
+    }
+
+    /// Push the observation for the current hour and refit.
+    pub fn push(&mut self, value: f64) {
+        let t = self.total_observed as f64;
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back((t, value));
+        self.total_observed += 1;
+        self.refit();
+    }
+
+    fn refit(&mut self) {
+        // Need more rows than columns (+ trend) for a stable fit.
+        let p = self.basis.dim() + 1;
+        if self.window.len() < p + 4 {
+            return;
+        }
+        let n = self.window.len();
+        self.t_center =
+            self.window.iter().map(|(t, _)| *t).sum::<f64>() / n as f64;
+        let mut design = Matrix::zeros(n, p);
+        let mut y = Vec::with_capacity(n);
+        for (r, (t, v)) in self.window.iter().enumerate() {
+            let row = self.basis.eval(*t);
+            for (c, b) in row.iter().enumerate() {
+                design[(r, c)] = *b;
+            }
+            // Centered linear trend column, scaled to window units so
+            // ridge treats it comparably to the basis columns.
+            design[(r, p - 1)] = (t - self.t_center) / self.capacity as f64;
+            y.push(*v);
+        }
+        if let Ok(beta) = lstsq_ridge(&design, &y, self.ridge) {
+            self.trend = beta[p - 1] / self.capacity as f64;
+            self.coeffs = Some(beta[..p - 1].to_vec());
+        }
+    }
+
+    /// Evaluate the fitted curve at absolute hour `t` (may be in the
+    /// future). Returns `None` before the first successful fit.
+    pub fn fitted_at(&self, t: f64) -> Option<f64> {
+        let coeffs = self.coeffs.as_ref()?;
+        let row = self.basis.eval(t);
+        let seasonal: f64 = row.iter().zip(coeffs).map(|(b, c)| b * c).sum();
+        Some(seasonal + self.trend * (t - self.t_center))
+    }
+
+    /// In-window residuals (observed − fitted), oldest first. Empty
+    /// before the first fit.
+    pub fn residuals(&self) -> Vec<f64> {
+        match &self.coeffs {
+            None => Vec::new(),
+            Some(_) => self
+                .window
+                .iter()
+                .map(|(t, v)| v - self.fitted_at(*t).expect("fit exists"))
+                .collect(),
+        }
+    }
+
+    /// Most recent observed value (persistence fallback).
+    pub fn last_value(&self) -> Option<f64> {
+        self.window.back().map(|(_, v)| *v)
+    }
+}
+
+impl Default for SplineModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diurnal(t: f64) -> f64 {
+        1000.0 + 300.0 * ((t / 24.0) * std::f64::consts::TAU).sin()
+    }
+
+    #[test]
+    fn basis_partition_of_unity() {
+        // Uniform periodic cubic B-splines sum to 1 everywhere.
+        let b = SplineBasis::uniform(168.0, 28);
+        for t in [0.0, 3.7, 84.0, 167.9] {
+            let s: f64 = b.eval(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "sum at {t} = {s}");
+        }
+        // Wrap-around: phase 168 == phase 0.
+        assert_eq!(b.eval(168.0), b.eval(0.0));
+    }
+
+    #[test]
+    fn basis_has_local_support() {
+        let b = SplineBasis::uniform(168.0, 28); // spacing 6 h
+        let row = b.eval(0.0);
+        // Basis 10 is centered at hour 60, far outside the 2-interval
+        // support of phase 0.
+        assert_eq!(row[10], 0.0);
+        // Nearest centers contribute.
+        assert!(row[0] > 0.0 && row[1] > 0.0 && row[27] > 0.0);
+    }
+
+    #[test]
+    fn learns_diurnal_pattern() {
+        let mut m = SplineModel::new();
+        for t in 0..336 {
+            m.push(diurnal(t as f64));
+        }
+        assert!(m.is_fit());
+        // Predict the next 24 hours: should track the sinusoid closely.
+        for h in 0..24 {
+            let t = 336.0 + h as f64;
+            let pred = m.fitted_at(t).unwrap();
+            let truth = diurnal(t);
+            assert!(
+                (pred - truth).abs() < 0.05 * truth,
+                "h={h} pred={pred} truth={truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn learns_linear_growth() {
+        let mut m = SplineModel::new();
+        for t in 0..336 {
+            m.push(1000.0 + 2.0 * t as f64);
+        }
+        let pred = m.fitted_at(400.0).unwrap();
+        let truth = 1000.0 + 2.0 * 400.0;
+        assert!((pred - truth).abs() < 0.05 * truth, "pred {pred} truth {truth}");
+    }
+
+    #[test]
+    fn residuals_small_on_clean_signal() {
+        let mut m = SplineModel::new();
+        for t in 0..336 {
+            m.push(diurnal(t as f64));
+        }
+        let r = m.residuals();
+        assert_eq!(r.len(), 336);
+        let max = r.iter().fold(0.0_f64, |a, v| a.max(v.abs()));
+        assert!(max < 30.0, "max residual {max}");
+    }
+
+    #[test]
+    fn not_fit_with_tiny_history() {
+        let mut m = SplineModel::new();
+        for t in 0..10 {
+            m.push(diurnal(t as f64));
+        }
+        assert!(!m.is_fit());
+        assert!(m.fitted_at(11.0).is_none());
+        assert!(m.residuals().is_empty());
+        assert_eq!(m.last_value(), Some(diurnal(9.0)));
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut m = SplineModel::with_config(100, 6, 1e-4);
+        for t in 0..250 {
+            m.push(diurnal(t as f64));
+        }
+        assert_eq!(m.observations(), 250);
+        assert_eq!(m.window.len(), 100);
+        assert_eq!(m.window.front().unwrap().0, 150.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! The discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events the cluster simulation processes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A request arrives at the load balancer.
+    Arrival {
+        /// Request id.
+        request: u64,
+        /// Session the request belongs to.
+        session: u64,
+    },
+    /// A request finishes on a backend.
+    Completion {
+        /// Request id.
+        request: u64,
+        /// Backend that served it.
+        backend: usize,
+        /// Arrival time (latency bookkeeping).
+        arrived: f64,
+    },
+    /// The cloud issues a revocation warning for a backend.
+    RevocationWarning {
+        /// Backend losing its server.
+        backend: usize,
+        /// Advance notice in seconds.
+        warning_secs: f64,
+    },
+    /// The cloud terminates a backend (end of warning period).
+    ServerDeath {
+        /// Backend being terminated.
+        backend: usize,
+    },
+    /// A replacement server becomes ready to serve.
+    ServerReady {
+        /// Backend coming online.
+        backend: usize,
+    },
+}
+
+/// A scheduled event; ordered by time with a sequence tiebreaker so
+/// simultaneous events process in insertion order (determinism).
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+    now: f64,
+}
+
+impl EventQueue {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics on non-finite times or times before `now` (causality).
+    pub fn schedule(&mut self, time: f64, event: Event) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(
+            time >= self.now - 1e-9,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (s.time, s.event)
+        })
+    }
+
+    /// Peek at the next event time without popping.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(r: u64) -> Event {
+        Event::Arrival {
+            request: r,
+            session: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, arrival(3));
+        q.schedule(1.0, arrival(1));
+        q.schedule(2.0, arrival(2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, arrival(10));
+        q.schedule(1.0, arrival(20));
+        q.schedule(1.0, arrival(30));
+        let ids: Vec<u64> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::Arrival { request, .. } => request,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(ids, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, arrival(1));
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, arrival(1));
+        q.pop();
+        q.schedule(1.0, arrival(2));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, arrival(1));
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.now(), 0.0);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Discrete-event web-cluster simulator.
+//!
+//! The paper's testbed experiments (Fig. 4(a)) run MediaWiki on EC2
+//! behind a modified HAProxy and measure request latencies around
+//! induced revocations. This crate replaces that testbed with a
+//! request-level discrete-event simulation:
+//!
+//! * [`engine`] — the event queue (time-ordered, deterministic
+//!   tie-breaking).
+//! * [`service`] — the backend service model: each server is an
+//!   `M/D/c`-style multi-slot FIFO queue with concurrency
+//!   `c = capacity × service_time`, a base service time calibrated to
+//!   the paper's MediaWiki measurements (mean response well under
+//!   200 ms at moderate load), doubled service times during the cache
+//!   warm-up window, and hard kill on revocation deadline.
+//! * [`metrics`] — per-time-bucket latency distributions (quartiles /
+//!   p90 / p99), drop and migration counters — the data behind the
+//!   Fig. 4(a) boxplot.
+//! * [`scenario`] — end-to-end scenarios driving `spotweb-lb`:
+//!   [`scenario::FailoverScenario`] reproduces the Fig. 4(a)
+//!   experiment (6-server heterogeneous cluster, ~600 req/s, induced
+//!   correlated revocation at t ≈ 3 min, reactive replacement within
+//!   the warning window) for both the transiency-aware and vanilla
+//!   balancers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+pub mod service;
+
+pub use engine::{Event, EventQueue};
+pub use metrics::{BucketStats, LatencyRecorder};
+pub use runner::{run_full_stack, FleetPolicy, RunnerConfig, RunnerReport};
+pub use scenario::{FailoverReport, FailoverScenario};
+pub use service::ServiceModel;

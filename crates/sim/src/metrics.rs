@@ -1,0 +1,191 @@
+//! Latency and loss metrics.
+//!
+//! Fig. 4(a) is a per-minute boxplot of response latencies around a
+//! revocation. [`LatencyRecorder`] collects raw samples into fixed
+//! time buckets and reduces each to quartiles/percentiles on demand.
+
+use spotweb_linalg::vector;
+
+/// Summary of one time bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketStats {
+    /// Bucket start time (seconds).
+    pub start: f64,
+    /// Sample count.
+    pub count: usize,
+    /// Mean latency (s).
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Requests dropped in this bucket.
+    pub dropped: u64,
+}
+
+/// Collects latency samples and drop events into time buckets.
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    bucket_secs: f64,
+    samples: Vec<Vec<f64>>,
+    dropped: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Recorder with buckets of `bucket_secs` covering `[0, horizon)`.
+    pub fn new(bucket_secs: f64, horizon_secs: f64) -> Self {
+        assert!(bucket_secs > 0.0 && horizon_secs > 0.0);
+        let n = (horizon_secs / bucket_secs).ceil() as usize;
+        LatencyRecorder {
+            bucket_secs,
+            samples: vec![Vec::new(); n],
+            dropped: vec![0; n],
+        }
+    }
+
+    fn bucket(&self, t: f64) -> Option<usize> {
+        if t < 0.0 {
+            return None;
+        }
+        let b = (t / self.bucket_secs) as usize;
+        (b < self.samples.len()).then_some(b)
+    }
+
+    /// Record a served request: arrival time and latency.
+    pub fn record(&mut self, arrival: f64, latency: f64) {
+        if let Some(b) = self.bucket(arrival) {
+            self.samples[b].push(latency);
+        }
+    }
+
+    /// Record a dropped request at its arrival time.
+    pub fn record_drop(&mut self, arrival: f64) {
+        if let Some(b) = self.bucket(arrival) {
+            self.dropped[b] += 1;
+        }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total served / dropped counts.
+    pub fn totals(&self) -> (usize, u64) {
+        (
+            self.samples.iter().map(|s| s.len()).sum(),
+            self.dropped.iter().sum(),
+        )
+    }
+
+    /// Overall drop fraction.
+    pub fn drop_fraction(&self) -> f64 {
+        let (served, dropped) = self.totals();
+        let total = served as f64 + dropped as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            dropped as f64 / total
+        }
+    }
+
+    /// Percentile over *all* samples.
+    pub fn overall_percentile(&self, p: f64) -> f64 {
+        let mut all: Vec<f64> = self.samples.iter().flatten().copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        vector::percentile_sorted(&all, p)
+    }
+
+    /// Reduce bucket `b` to stats (empty buckets give NaN percentiles,
+    /// zero count).
+    pub fn bucket_stats(&self, b: usize) -> BucketStats {
+        let mut s = self.samples[b].clone();
+        s.sort_by(|a, c| a.partial_cmp(c).expect("finite latencies"));
+        BucketStats {
+            start: b as f64 * self.bucket_secs,
+            count: s.len(),
+            mean: vector::mean(&s),
+            min: s.first().copied().unwrap_or(f64::NAN),
+            p25: vector::percentile_sorted(&s, 25.0),
+            p50: vector::percentile_sorted(&s, 50.0),
+            p75: vector::percentile_sorted(&s, 75.0),
+            p90: vector::percentile_sorted(&s, 90.0),
+            p99: vector::percentile_sorted(&s, 99.0),
+            max: s.last().copied().unwrap_or(f64::NAN),
+            dropped: self.dropped[b],
+        }
+    }
+
+    /// Stats for every bucket.
+    pub fn all_stats(&self) -> Vec<BucketStats> {
+        (0..self.buckets()).map(|b| self.bucket_stats(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_arrival_time() {
+        let mut r = LatencyRecorder::new(60.0, 180.0);
+        r.record(10.0, 0.1);
+        r.record(70.0, 0.2);
+        r.record(70.5, 0.4);
+        assert_eq!(r.buckets(), 3);
+        assert_eq!(r.bucket_stats(0).count, 1);
+        let b1 = r.bucket_stats(1);
+        assert_eq!(b1.count, 2);
+        assert!((b1.mean - 0.3).abs() < 1e-12);
+        assert_eq!(r.bucket_stats(2).count, 0);
+    }
+
+    #[test]
+    fn out_of_range_ignored() {
+        let mut r = LatencyRecorder::new(60.0, 120.0);
+        r.record(500.0, 0.1);
+        r.record(-5.0, 0.1);
+        assert_eq!(r.totals().0, 0);
+    }
+
+    #[test]
+    fn drop_fraction() {
+        let mut r = LatencyRecorder::new(60.0, 60.0);
+        r.record(1.0, 0.1);
+        r.record(2.0, 0.1);
+        r.record_drop(3.0);
+        r.record_drop(4.0);
+        assert!((r.drop_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(r.bucket_stats(0).dropped, 2);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let mut r = LatencyRecorder::new(60.0, 60.0);
+        for k in 1..=100 {
+            r.record(1.0, k as f64 / 100.0);
+        }
+        let s = r.bucket_stats(0);
+        assert!(s.min <= s.p25 && s.p25 <= s.p50 && s.p50 <= s.p75);
+        assert!(s.p75 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        assert!((r.overall_percentile(50.0) - s.p50).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_recorder_is_sane() {
+        let r = LatencyRecorder::new(10.0, 100.0);
+        assert_eq!(r.drop_fraction(), 0.0);
+        assert_eq!(r.totals(), (0, 0));
+        assert!(r.bucket_stats(0).p50.is_nan());
+    }
+}

@@ -1,0 +1,581 @@
+//! Full-stack runner: provisioning policy + market dynamics + load
+//! balancer + request-level simulation, wired together the way the
+//! paper's Fig. 2 architecture runs in production.
+//!
+//! Per decision interval the runner:
+//! 1. advances the market (prices, failure probabilities),
+//! 2. asks the policy for the next fleet (server counts per market),
+//! 3. reconciles the cluster — boots new servers (startup + cache
+//!    warm-up), gracefully decommissions surplus ones,
+//! 4. programs the balancer's WRR weights from the portfolio,
+//! 5. samples revocations; victims get a warning, then die,
+//! 6. generates Poisson request traffic at the trace's rate and runs
+//!    it through the balancer into per-server service queues,
+//! 7. accounts cost (per-second billing at current prices) and
+//!    latency/drop metrics.
+//!
+//! The interval length is configurable; request-level simulation is
+//! O(requests), so full three-week × 20 krps runs belong to the
+//! coarse harness in `spotweb-core::evaluate` — this runner is for
+//! latency-fidelity studies over hours, not weeks.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use spotweb_lb::{BackendState, LoadBalancer, LoadBalancerConfig, MonitorWindow, RouteOutcome};
+use spotweb_market::billing::{BillingModel, CostMeter};
+use spotweb_market::CloudSim;
+use spotweb_workload::Trace;
+
+use crate::metrics::LatencyRecorder;
+use crate::service::ServiceModel;
+
+/// Abstraction over `spotweb-core`'s policies so this crate does not
+/// depend on the optimizer: given current observations, return the
+/// desired number of servers per market.
+pub trait FleetPolicy {
+    /// Decide the fleet for the coming interval.
+    fn decide_fleet(
+        &mut self,
+        interval: usize,
+        observed_rps: f64,
+        prices: &[f64],
+        failure_probs: &[f64],
+        failure_history: &[Vec<f64>],
+    ) -> Vec<u32>;
+}
+
+/// Configuration for a full-stack run.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Decision-interval length in seconds (default 600 s; the paper
+    /// runs hourly, shortened here because the runner simulates every
+    /// request).
+    pub interval_secs: f64,
+    /// Number of decision intervals to run.
+    pub intervals: usize,
+    /// Server startup time (s).
+    pub startup_secs: f64,
+    /// Cache warm-up window (s).
+    pub warmup_secs: f64,
+    /// Base request service time (s).
+    pub service_secs: f64,
+    /// Load-balancer configuration.
+    pub lb: LoadBalancerConfig,
+    /// Distinct user sessions.
+    pub sessions: u64,
+    /// Provider-imposed maximum instance lifetime (e.g. Google Cloud
+    /// terminates preemptible VMs after 24 h). When set, the runner
+    /// *proactively relinquishes* servers approaching the cap — a
+    /// graceful drain plus replacement, instead of eating the
+    /// provider's hard kill (§7 of the paper).
+    pub max_lifetime_secs: Option<f64>,
+    /// RNG seed (arrivals and revocation sampling share sub-streams).
+    pub seed: u64,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            interval_secs: 600.0,
+            intervals: 24,
+            startup_secs: 55.0,
+            warmup_secs: 60.0,
+            service_secs: 0.12,
+            lb: LoadBalancerConfig::default(),
+            sessions: 2000,
+            max_lifetime_secs: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of a full-stack run.
+#[derive(Debug, Clone)]
+pub struct RunnerReport {
+    /// Requests served.
+    pub served: usize,
+    /// Requests dropped.
+    pub dropped: u64,
+    /// Overall drop fraction.
+    pub drop_fraction: f64,
+    /// Overall p50 / p90 / p99 latency (s).
+    pub p50: f64,
+    /// 90th percentile latency (s).
+    pub p90: f64,
+    /// 99th percentile latency (s).
+    pub p99: f64,
+    /// Total provisioning spend ($, per-second billing).
+    pub cost: f64,
+    /// Revocation warnings delivered.
+    pub revocations: u32,
+    /// Sessions migrated by the balancer.
+    pub migrated_sessions: u64,
+    /// Servers proactively relinquished at the provider lifetime cap.
+    pub lifetime_relinquishments: u32,
+    /// Fleet size per interval (total servers).
+    pub fleet_sizes: Vec<u32>,
+    /// Per-interval latency/drop stats.
+    pub buckets: Vec<crate::metrics::BucketStats>,
+}
+
+/// Run `policy` against `cloud` dynamics and `trace` arrivals.
+///
+/// `trace.rate_at` is sampled at interval boundaries; the Poisson
+/// arrival rate is held constant within an interval.
+pub fn run_full_stack(
+    policy: &mut dyn FleetPolicy,
+    cloud: &mut CloudSim,
+    trace: &Trace,
+    config: &RunnerConfig,
+) -> RunnerReport {
+    let n_markets = cloud.catalog().len();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut lb = LoadBalancer::new(config.lb.clone());
+    let mut services: Vec<ServiceModel> = Vec::new();
+    let mut death_time: Vec<Option<f64>> = Vec::new();
+    // Backends per market currently alive (ids into lb).
+    let mut alive: Vec<Vec<usize>> = vec![Vec::new(); n_markets];
+    let horizon = config.interval_secs * config.intervals as f64;
+    let mut recorder = LatencyRecorder::new(config.interval_secs, horizon);
+    let mut meter = CostMeter::new(n_markets, BillingModel::PerSecond);
+    let mut revocations = 0u32;
+    let mut relinquished = 0u32;
+    // Birth time per backend, for the provider lifetime cap.
+    let mut born_at: Vec<f64> = Vec::new();
+    let mut fleet_sizes = Vec::with_capacity(config.intervals);
+    // Deferred deaths: (deadline, backend).
+    let mut pending_deaths: Vec<(f64, usize)> = Vec::new();
+    // (completion_time, backend, arrival_time), min-ordered by time —
+    // persists across intervals so work spanning a boundary resolves.
+    let mut completions: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>> =
+        std::collections::BinaryHeap::new();
+    // Application-level monitoring (§5.2): the policy sees the arrival
+    // rate the balancer *measured*, not the generator's ground truth.
+    let mut monitor = MonitorWindow::new(config.interval_secs);
+    #[allow(clippy::too_many_arguments)]
+    fn drain_completions(
+        upto: f64,
+        completions: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>>,
+        lb: &mut LoadBalancer,
+        death_time: &[Option<f64>],
+        recorder: &mut LatencyRecorder,
+        monitor: &mut MonitorWindow,
+    ) {
+        while let Some(&std::cmp::Reverse((done_bits, b, arr_bits))) = completions.peek() {
+            let done = f64::from_bits(done_bits);
+            if done > upto {
+                break;
+            }
+            completions.pop();
+            let arrived = f64::from_bits(arr_bits);
+            match death_time[b] {
+                Some(d) if d < done => {
+                    recorder.record_drop(arrived);
+                    monitor.record_dropped(arrived);
+                }
+                _ => {
+                    recorder.record(arrived, done - arrived);
+                    monitor.record_served(arrived, done - arrived);
+                    lb.complete(b, None);
+                }
+            }
+        }
+    }
+
+    for interval in 0..config.intervals {
+        let t0 = interval as f64 * config.interval_secs;
+        let tick = cloud.step();
+        // Interval 0 has no measurements yet; afterwards the policy is
+        // fed the balancer-monitored rate.
+        let observed_rps = if interval == 0 {
+            trace.rate_at(t0)
+        } else {
+            monitor.snapshot(t0).arrival_rate
+        };
+        let desired = policy.decide_fleet(
+            interval,
+            observed_rps,
+            &tick.prices,
+            &tick.failure_probs,
+            &cloud.history().failure_matrix(),
+        );
+        assert_eq!(desired.len(), n_markets, "policy fleet length");
+
+        // Reconcile the cluster.
+        for m in 0..n_markets {
+            let have = alive[m].len() as u32;
+            let want = desired[m];
+            if want > have {
+                for _ in 0..(want - have) {
+                    let cap = cloud.catalog().market(m).capacity_rps();
+                    let id = if interval == 0 {
+                        // Bootstrap instantly so the run starts serving.
+                        lb.add_backend_up(m, cap)
+                    } else {
+                        lb.add_backend(m, cap, t0, config.startup_secs, config.warmup_secs)
+                    };
+                    let warm_until = if interval == 0 {
+                        0.0
+                    } else {
+                        t0 + config.startup_secs + config.warmup_secs
+                    };
+                    services.push(ServiceModel::new(cap, config.service_secs, warm_until));
+                    death_time.push(None);
+                    born_at.push(t0);
+                    alive[m].push(id);
+                }
+            } else if have > want {
+                for _ in 0..(have - want) {
+                    if let Some(id) = alive[m].pop() {
+                        lb.decommission(id, t0);
+                        // A decommissioned server keeps serving (as a
+                        // drain-fallback) until any replacement capacity
+                        // started this interval is warmed up — releasing
+                        // it earlier would open a gap on market switches.
+                        let linger =
+                            t0 + config.startup_secs + config.warmup_secs
+                                + 50.0 * config.service_secs;
+                        pending_deaths.push((linger, id));
+                    }
+                }
+            }
+        }
+
+        // Program WRR weights proportional to per-market capacity share.
+        let cap_share: Vec<f64> = {
+            let caps: Vec<f64> = (0..n_markets)
+                .map(|m| alive[m].len() as f64 * cloud.catalog().market(m).capacity_rps())
+                .collect();
+            let total: f64 = caps.iter().sum();
+            if total > 0.0 {
+                caps.iter().map(|c| c / total).collect()
+            } else {
+                vec![0.0; n_markets]
+            }
+        };
+        lb.update_portfolio_weights(&cap_share, t0);
+
+        // Provider lifetime cap (§7): relinquish servers that would hit
+        // the cap this interval, replacing them proactively so the
+        // graceful drain overlaps the replacement's startup.
+        if let Some(cap_secs) = config.max_lifetime_secs {
+            for m in 0..n_markets {
+                let mut idx = 0;
+                while idx < alive[m].len() {
+                    let id = alive[m][idx];
+                    if t0 + config.interval_secs - born_at[id] >= cap_secs {
+                        alive[m].remove(idx);
+                        relinquished += 1;
+                        lb.decommission(id, t0);
+                        let linger = t0
+                            + config.startup_secs
+                            + config.warmup_secs
+                            + 50.0 * config.service_secs;
+                        pending_deaths.push((linger, id));
+                        let cap_rps = cloud.catalog().market(m).capacity_rps();
+                        let new_id = lb.add_backend(
+                            m,
+                            cap_rps,
+                            t0,
+                            config.startup_secs,
+                            config.warmup_secs,
+                        );
+                        services.push(ServiceModel::new(
+                            cap_rps,
+                            config.service_secs,
+                            t0 + config.startup_secs + config.warmup_secs,
+                        ));
+                        death_time.push(None);
+                        born_at.push(t0);
+                        alive[m].push(new_id);
+                    } else {
+                        idx += 1;
+                    }
+                }
+            }
+        }
+
+        // Sample revocations for this interval; victims drain then die.
+        let fleet: Vec<u32> = alive.iter().map(|v| v.len() as u32).collect();
+        fleet_sizes.push(fleet.iter().sum());
+        let events = cloud.sample_revocations(&fleet);
+        let warning = cloud.warning_secs();
+        for e in &events {
+            if alive[e.market].is_empty() {
+                continue;
+            }
+            let pos = e.server_index % alive[e.market].len();
+            let id = alive[e.market].remove(pos);
+            revocations += 1;
+            lb.revocation_warning(id, t0, warning);
+            pending_deaths.push((t0 + warning, id));
+            // Reactive reprovisioning (§4.4): request a same-capacity
+            // replacement the moment the warning arrives, so it is
+            // serving before (or shortly after) the victim dies.
+            let cap = cloud.catalog().market(e.market).capacity_rps();
+            let new_id = lb.add_backend(e.market, cap, t0, config.startup_secs, config.warmup_secs);
+            services.push(ServiceModel::new(
+                cap,
+                config.service_secs,
+                t0 + config.startup_secs + config.warmup_secs,
+            ));
+            death_time.push(None);
+            born_at.push(t0);
+            alive[e.market].push(new_id);
+        }
+
+        // Request-level simulation of the interval. Completions are
+        // real events so the balancer's in-flight counts (and with
+        // them saturation detection, least-utilized fallback and
+        // admission control) reflect genuine queue depth.
+        let t_end = t0 + config.interval_secs;
+        let mut now = t0 + exp_sample(&mut rng, trace.rate_at(t0).max(1e-6));
+        while now < t_end {
+            // Fire any deaths that came due.
+            pending_deaths.retain(|&(deadline, id)| {
+                if deadline <= now {
+                    lb.server_died(id, deadline);
+                    services[id].kill(deadline);
+                    death_time[id] = Some(deadline);
+                    false
+                } else {
+                    true
+                }
+            });
+            drain_completions(
+                now,
+                &mut completions,
+                &mut lb,
+                &death_time,
+                &mut recorder,
+                &mut monitor,
+            );
+            lb.tick(now);
+            let session = rng.gen_range(0..config.sessions);
+            match lb.route(Some(session), now) {
+                RouteOutcome::Routed(b) => {
+                    let done = services[b].admit(now);
+                    completions.push(std::cmp::Reverse((
+                        done.to_bits(),
+                        b,
+                        now.to_bits(),
+                    )));
+                }
+                RouteOutcome::Dropped => {
+                    recorder.record_drop(now);
+                    monitor.record_dropped(now);
+                }
+            }
+            // Arrivals follow the *true* trace rate (the generator is
+            // the outside world; only the policy sees measurements).
+            now += exp_sample(&mut rng, trace.rate_at(t0).max(1e-6));
+        }
+        drain_completions(
+            t_end,
+            &mut completions,
+            &mut lb,
+            &death_time,
+            &mut recorder,
+            &mut monitor,
+        );
+        // Whatever still runs past the interval end resolves at the top
+        // of the next interval (or here if the run is over).
+        if interval + 1 == config.intervals {
+            drain_completions(
+                f64::INFINITY,
+                &mut completions,
+                &mut lb,
+                &death_time,
+                &mut recorder,
+                &mut monitor,
+            );
+        }
+
+        // Bill every backend that existed during any part of the
+        // interval — including draining/decommissioned servers still
+        // finishing work — at this tick's price (per-second model).
+        for (id, b) in lb.backends().iter().enumerate() {
+            let billed_secs = match death_time[id] {
+                Some(d) if d <= t0 => 0.0,
+                Some(d) => (d - t0).min(config.interval_secs),
+                None => config.interval_secs,
+            };
+            if billed_secs > 0.0 {
+                meter.charge(b.market, 1, tick.prices[b.market], billed_secs);
+            }
+        }
+    }
+
+    let (served, dropped) = recorder.totals();
+    RunnerReport {
+        served,
+        dropped,
+        drop_fraction: recorder.drop_fraction(),
+        p50: recorder.overall_percentile(50.0),
+        p90: recorder.overall_percentile(90.0),
+        p99: recorder.overall_percentile(99.0),
+        cost: meter.total(),
+        revocations,
+        migrated_sessions: lb.stats().migrations,
+        lifetime_relinquishments: relinquished,
+        fleet_sizes,
+        buckets: recorder.all_stats(),
+    }
+}
+
+/// Simple reactive fleet policy for tests and as a reference: size the
+/// cheapest-per-request market for the observed rate with headroom.
+#[derive(Debug, Clone)]
+pub struct ReactiveCheapestPolicy {
+    /// Headroom multiplier on the observed rate.
+    pub headroom: f64,
+    /// Serving capacities per market (req/s).
+    pub capacities: Vec<f64>,
+}
+
+impl FleetPolicy for ReactiveCheapestPolicy {
+    fn decide_fleet(
+        &mut self,
+        _interval: usize,
+        observed_rps: f64,
+        prices: &[f64],
+        _failure_probs: &[f64],
+        _failure_history: &[Vec<f64>],
+    ) -> Vec<u32> {
+        let per_req: Vec<f64> = prices
+            .iter()
+            .zip(&self.capacities)
+            .map(|(p, c)| p / c)
+            .collect();
+        let best = per_req
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite prices"))
+            .map(|(i, _)| i)
+            .expect("non-empty catalog");
+        let mut fleet = vec![0u32; prices.len()];
+        fleet[best] =
+            ((observed_rps * self.headroom) / self.capacities[best]).ceil() as u32;
+        fleet
+    }
+}
+
+fn exp_sample<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / rate
+}
+
+/// Expose backend states for assertions in tests.
+pub fn is_down(state: BackendState) -> bool {
+    state == BackendState::Down
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotweb_market::Catalog;
+    use spotweb_workload::Trace;
+
+    fn flat_trace(rate: f64, config: &RunnerConfig) -> Trace {
+        let samples = config.intervals + 2;
+        Trace::new(config.interval_secs, vec![rate; samples])
+    }
+
+    fn policy(catalog: &Catalog) -> ReactiveCheapestPolicy {
+        ReactiveCheapestPolicy {
+            headroom: 1.3,
+            capacities: catalog.markets().iter().map(|m| m.capacity_rps()).collect(),
+        }
+    }
+
+    #[test]
+    fn steady_run_serves_with_low_latency() {
+        let catalog = Catalog::fig4_testbed();
+        let config = RunnerConfig {
+            intervals: 6,
+            seed: 3,
+            ..RunnerConfig::default()
+        };
+        let mut cloud = CloudSim::new(catalog.clone(), 5, 100);
+        cloud.warm_up(8);
+        let trace = flat_trace(300.0, &config);
+        let mut p = policy(&catalog);
+        let r = run_full_stack(&mut p, &mut cloud, &trace, &config);
+        assert!(r.served > 1000, "served {}", r.served);
+        assert!(r.drop_fraction < 0.05, "drops {}", r.drop_fraction);
+        assert!(r.p90 < 1.0, "p90 {}", r.p90);
+        assert!(r.cost > 0.0);
+        assert_eq!(r.fleet_sizes.len(), 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let catalog = Catalog::fig4_testbed();
+        let config = RunnerConfig {
+            intervals: 4,
+            seed: 9,
+            ..RunnerConfig::default()
+        };
+        let run = || {
+            let mut cloud = CloudSim::new(catalog.clone(), 7, 100);
+            cloud.warm_up(8);
+            let trace = flat_trace(250.0, &config);
+            let mut p = policy(&catalog);
+            let r = run_full_stack(&mut p, &mut cloud, &trace, &config);
+            (r.served, r.dropped, r.cost.to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn lifetime_cap_relinquishes_gracefully() {
+        // GCP-style 24 h cap compressed: servers older than 3 intervals
+        // are proactively replaced, and the rotation costs no requests.
+        let catalog = Catalog::fig4_testbed();
+        let config = RunnerConfig {
+            intervals: 8,
+            seed: 6,
+            max_lifetime_secs: Some(3.0 * 600.0),
+            ..RunnerConfig::default()
+        };
+        let mut cloud = CloudSim::new(catalog.clone(), 11, 100);
+        cloud.warm_up(8);
+        let trace = flat_trace(250.0, &config);
+        let mut p = policy(&catalog);
+        let r = run_full_stack(&mut p, &mut cloud, &trace, &config);
+        assert!(
+            r.lifetime_relinquishments > 0,
+            "cap must rotate servers out"
+        );
+        assert!(
+            r.drop_fraction < 0.01,
+            "graceful rotation must not drop requests: {}",
+            r.drop_fraction
+        );
+    }
+
+    #[test]
+    fn fleet_tracks_load_changes() {
+        let catalog = Catalog::fig4_testbed();
+        let config = RunnerConfig {
+            intervals: 6,
+            seed: 2,
+            ..RunnerConfig::default()
+        };
+        let mut cloud = CloudSim::new(catalog.clone(), 3, 100);
+        cloud.warm_up(8);
+        // Load doubles halfway.
+        let mut values = vec![200.0; 3];
+        values.extend(vec![500.0; 5]);
+        let trace = Trace::new(config.interval_secs, values);
+        let mut p = policy(&catalog);
+        let r = run_full_stack(&mut p, &mut cloud, &trace, &config);
+        assert!(
+            r.fleet_sizes.last().unwrap() > r.fleet_sizes.first().unwrap(),
+            "fleet {:?} should grow with load",
+            r.fleet_sizes
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Backend service model.
+//!
+//! Each server is modeled as a multi-slot FIFO queue (`M/D/c`-like):
+//! concurrency `c = capacity_rps × service_secs` worker slots, each
+//! taking `service_secs` per request (doubled while the cache is cold,
+//! matching the paper's 30–90 s Memcached warm-up). A request arriving
+//! when all slots are busy waits for the earliest slot — latency =
+//! wait + service. The model reproduces the paper's testbed behaviour:
+//! mean latency well under 200 ms below saturation and sharply growing
+//! queueing delay beyond it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Wrapper giving `f64` a total order (finite times only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Finite(f64);
+impl Eq for Finite {}
+impl PartialOrd for Finite {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Finite {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite time")
+    }
+}
+
+/// The service queue of one backend server.
+#[derive(Debug, Clone)]
+pub struct ServiceModel {
+    /// Earliest-free times of the busy worker slots.
+    slots: BinaryHeap<Reverse<Finite>>,
+    /// Completion times of every request not yet known to be finished
+    /// (drained lazily against the query clock) — the source of truth
+    /// for in-flight accounting and [`ServiceModel::kill`].
+    outstanding: BinaryHeap<Reverse<Finite>>,
+    /// Number of worker slots.
+    concurrency: usize,
+    /// Base per-request service time (seconds).
+    pub service_secs: f64,
+    /// Until this time the cache is cold and service takes
+    /// `service_secs × cold_factor`.
+    pub warm_until: f64,
+    /// Cold-cache service-time multiplier.
+    pub cold_factor: f64,
+}
+
+impl ServiceModel {
+    /// Model a server of `capacity_rps` with base service time
+    /// `service_secs`; it is cold (slower) until `warm_until`.
+    pub fn new(capacity_rps: f64, service_secs: f64, warm_until: f64) -> Self {
+        assert!(capacity_rps > 0.0 && service_secs > 0.0);
+        let concurrency = (capacity_rps * service_secs).round().max(1.0) as usize;
+        ServiceModel {
+            slots: BinaryHeap::new(),
+            outstanding: BinaryHeap::new(),
+            concurrency,
+            service_secs,
+            warm_until,
+            cold_factor: 2.0,
+        }
+    }
+
+    /// Forget outstanding requests that completed by `now`.
+    fn drain_outstanding(&mut self, now: f64) {
+        while let Some(Reverse(Finite(t))) = self.outstanding.peek() {
+            if *t <= now {
+                self.outstanding.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Worker-slot count.
+    pub fn concurrency(&self) -> usize {
+        self.concurrency
+    }
+
+    /// Requests queued or in service as of `now`.
+    pub fn in_system_at(&mut self, now: f64) -> usize {
+        self.drain_outstanding(now);
+        self.outstanding.len()
+    }
+
+    /// Requests not yet known finished (upper bound; see
+    /// [`ServiceModel::in_system_at`] for the time-accurate count).
+    pub fn in_system(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Admit a request at `now`; returns its completion time.
+    pub fn admit(&mut self, now: f64) -> f64 {
+        // Discard slots that freed in the past.
+        while let Some(Reverse(Finite(t))) = self.slots.peek() {
+            if *t <= now && self.slots.len() >= self.concurrency {
+                self.slots.pop();
+            } else {
+                break;
+            }
+        }
+        let start = if self.slots.len() < self.concurrency {
+            now
+        } else {
+            // Wait for the earliest slot.
+            let Reverse(Finite(t)) = self.slots.pop().expect("nonempty");
+            t.max(now)
+        };
+        let service = if start < self.warm_until {
+            self.service_secs * self.cold_factor
+        } else {
+            self.service_secs
+        };
+        let done = start + service;
+        self.slots.push(Reverse(Finite(done)));
+        self.drain_outstanding(now);
+        self.outstanding.push(Reverse(Finite(done)));
+        done
+    }
+
+    /// Kill the server at `now`: all requests completing after `now`
+    /// are lost. Returns how many were dropped (queued requests
+    /// included).
+    pub fn kill(&mut self, now: f64) -> usize {
+        self.drain_outstanding(now);
+        let dropped = self.outstanding.len();
+        self.outstanding.clear();
+        self.slots.clear();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_latency_is_service_time() {
+        let mut s = ServiceModel::new(100.0, 0.2, 0.0);
+        let done = s.admit(10.0);
+        assert!((done - 10.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrency_derives_from_capacity() {
+        let s = ServiceModel::new(100.0, 0.25, 0.0);
+        assert_eq!(s.concurrency(), 25);
+        // A tiny server still has one slot.
+        assert_eq!(ServiceModel::new(1.0, 0.1, 0.0).concurrency(), 1);
+    }
+
+    #[test]
+    fn queueing_delay_when_saturated() {
+        let mut s = ServiceModel::new(10.0, 0.1, 0.0); // 1 slot
+        let d1 = s.admit(0.0);
+        let d2 = s.admit(0.0);
+        assert!((d1 - 0.1).abs() < 1e-12);
+        assert!((d2 - 0.2).abs() < 1e-12, "second waits for the first");
+    }
+
+    #[test]
+    fn sustained_overload_grows_queue() {
+        let mut s = ServiceModel::new(10.0, 0.1, 0.0);
+        // Offered 20 rps against capacity 10 rps for 1 s.
+        let mut worst: f64 = 0.0;
+        for k in 0..20 {
+            let t = k as f64 / 20.0;
+            worst = worst.max(s.admit(t) - t);
+        }
+        assert!(worst > 0.5, "latency must blow up under overload: {worst}");
+    }
+
+    #[test]
+    fn cold_cache_doubles_service() {
+        let mut s = ServiceModel::new(100.0, 0.2, 100.0);
+        let d_cold = s.admit(10.0);
+        assert!((d_cold - 10.4).abs() < 1e-12);
+        let d_warm = s.admit(200.0);
+        assert!((d_warm - 200.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kill_drops_in_flight() {
+        let mut s = ServiceModel::new(10.0, 1.0, 0.0); // 10 slots, 1 s each
+        for _ in 0..5 {
+            s.admit(0.0);
+        }
+        // At t = 0.5 all five are still in flight.
+        assert_eq!(s.kill(0.5), 5);
+        assert_eq!(s.in_system(), 0);
+    }
+
+    #[test]
+    fn kill_counts_queued_requests_too() {
+        // 1 slot, 12 admissions: 11 still unfinished at t = 0.5.
+        let mut s = ServiceModel::new(10.0, 0.1, 0.0);
+        for _ in 0..12 {
+            s.admit(0.0);
+        }
+        assert_eq!(s.in_system_at(0.05), 12);
+        assert_eq!(s.kill(0.15), 11, "one completed at 0.1, rest dropped");
+    }
+
+    #[test]
+    fn kill_spares_completed() {
+        let mut s = ServiceModel::new(10.0, 1.0, 0.0);
+        s.admit(0.0); // completes at 1.0
+        assert_eq!(s.kill(2.0), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests on the discrete-event substrate: the service queue's
+//! work-conservation laws and the event queue's ordering guarantees.
+
+use proptest::prelude::*;
+use spotweb_sim::engine::{Event, EventQueue};
+use spotweb_sim::service::ServiceModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Completions never precede their admissions plus the minimum
+    /// service time, and admissions at the same server never finish
+    /// out of order (FIFO).
+    #[test]
+    fn service_model_fifo_and_causal(
+        arrivals in prop::collection::vec(0.0f64..100.0, 1..100),
+        capacity in 5.0f64..200.0,
+        service in 0.01f64..0.5,
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut s = ServiceModel::new(capacity, service, 0.0);
+        let mut last_done = 0.0;
+        for &t in &sorted {
+            let done = s.admit(t);
+            prop_assert!(done >= t + service - 1e-9, "done {done} before {t}+service");
+            prop_assert!(done + 1e-9 >= last_done, "FIFO violated: {done} < {last_done}");
+            last_done = done;
+        }
+    }
+
+    /// Under sustained load below capacity, waiting time stays bounded
+    /// by a few service times.
+    #[test]
+    fn underload_has_bounded_wait(
+        capacity in 20.0f64..200.0,
+        service in 0.05f64..0.2,
+        load_factor in 0.1f64..0.7,
+    ) {
+        let mut s = ServiceModel::new(capacity, service, 0.0);
+        let rate = capacity * load_factor;
+        let n = 2000;
+        let mut worst: f64 = 0.0;
+        for k in 0..n {
+            let t = k as f64 / rate;
+            worst = worst.max(s.admit(t) - t);
+        }
+        prop_assert!(
+            worst <= 3.0 * service + 1e-9,
+            "worst wait {worst} vs service {service} at load {load_factor}"
+        );
+    }
+
+    /// kill() accounts exactly for the in-flight population. Time is
+    /// monotone: the kill happens at or after the last admission, as in
+    /// the simulator.
+    #[test]
+    fn kill_counts_in_flight(
+        arrivals in prop::collection::vec(0.0f64..10.0, 1..50),
+        kill_delay in 0.0f64..5.0,
+    ) {
+        let mut s = ServiceModel::new(10.0, 1.0, 0.0);
+        let mut done_times = Vec::new();
+        let mut sorted = arrivals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &t in &sorted {
+            done_times.push(s.admit(t));
+        }
+        let kill_at = sorted.last().unwrap() + kill_delay;
+        let in_flight_at_kill = done_times.iter().filter(|d| **d > kill_at).count();
+        prop_assert_eq!(s.kill(kill_at), in_flight_at_kill);
+    }
+
+    /// The event queue is a total order: pops are non-decreasing in
+    /// time and FIFO within a timestamp.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0.0f64..1000.0, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, Event::Arrival { request: i as u64, session: 0 });
+        }
+        let mut last_t = f64::NEG_INFINITY;
+        let mut seen_at_t: Vec<u64> = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            prop_assert!(t >= last_t);
+            let id = match e {
+                Event::Arrival { request, .. } => request,
+                _ => unreachable!(),
+            };
+            if t == last_t {
+                if let Some(&prev) = seen_at_t.last() {
+                    prop_assert!(id > prev, "FIFO within timestamp violated");
+                }
+                seen_at_t.push(id);
+            } else {
+                seen_at_t.clear();
+                seen_at_t.push(id);
+            }
+            last_t = t;
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Convex quadratic-program solver for SpotWeb.
+//!
+//! The paper solves its multi-period portfolio optimization with
+//! CVXPY + the SCS conic solver. The MPO instance is a convex QP —
+//! linear cost terms, a quadratic risk term `α·AᵀMA`, and box/budget
+//! constraints — so this crate implements a first-order operator-
+//! splitting QP solver in the style of
+//! [OSQP](https://osqp.org) (Stellato et al., 2020):
+//!
+//! ```text
+//! minimize   ½ xᵀPx + qᵀx
+//! subject to l ≤ Ax ≤ u
+//! ```
+//!
+//! with `P ⪰ 0`. The ADMM iteration factors `P + σI + ρAᵀA` **once**
+//! (dense Cholesky from `spotweb-linalg`) and reuses the factorization
+//! every iteration, re-factoring only when the adaptive penalty ρ moves
+//! by more than a threshold. Ruiz equilibration preconditions badly
+//! scaled problems (per-request costs span orders of magnitude across
+//! markets).
+//!
+//! Two entry points:
+//! * [`admm::AdmmSolver`] — the general path used by the MPO optimizer.
+//! * [`pgd`] — projected gradient descent for box-only problems; used
+//!   in tests as an independent cross-check of ADMM solutions.
+
+#![forbid(unsafe_code)]
+// Numeric kernels use explicit index loops throughout: the dual-array
+// access patterns (L[(i,k)]·x[k], row/col scalings) read far clearer
+// with indices than with zipped iterator chains.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod admm;
+pub mod pgd;
+pub mod qp;
+pub mod scaling;
+pub mod termination;
+
+pub use admm::AdmmSolver;
+pub use qp::{QpProblem, QpSolution, QpStatus, Settings};
+
+/// Errors reported when constructing or solving a QP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// Problem dimensions are inconsistent.
+    Dimension(&'static str),
+    /// A bound pair has `l > u`.
+    InfeasibleBounds {
+        /// Constraint row with crossing bounds.
+        row: usize,
+    },
+    /// The KKT system could not be factored (P not PSD after
+    /// regularization, or numerical breakdown).
+    Factorization(String),
+}
+
+impl core::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SolverError::Dimension(c) => write!(f, "dimension error: {c}"),
+            SolverError::InfeasibleBounds { row } => {
+                write!(f, "infeasible bounds at constraint row {row} (l > u)")
+            }
+            SolverError::Factorization(msg) => write!(f, "factorization failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Convenience result alias.
+pub type Result<T> = core::result::Result<T, SolverError>;

@@ -1,0 +1,262 @@
+//! QP problem, settings and solution types.
+
+use spotweb_linalg::Matrix;
+
+use crate::{Result, SolverError};
+
+/// A convex quadratic program in OSQP standard form:
+///
+/// ```text
+/// minimize   ½ xᵀPx + qᵀx
+/// subject to l ≤ Ax ≤ u
+/// ```
+///
+/// `P` must be symmetric positive semidefinite (it is symmetrized on
+/// construction; PSD-ness is enforced indirectly via the σ-regularized
+/// KKT factorization). Equality constraints are encoded by `l[i] == u[i]`;
+/// one-sided constraints use `f64::INFINITY` / `f64::NEG_INFINITY`.
+///
+/// ```
+/// use spotweb_linalg::Matrix;
+/// use spotweb_solver::{AdmmSolver, QpProblem, Settings};
+///
+/// // min (x − 2)²  subject to 0 ≤ x ≤ 1  →  x = 1.
+/// let qp = QpProblem::new(
+///     Matrix::from_diag(&[2.0]),
+///     vec![-4.0],
+///     Matrix::identity(1),
+///     vec![0.0],
+///     vec![1.0],
+/// ).unwrap();
+/// let sol = AdmmSolver::new(qp, Settings::default()).unwrap().solve();
+/// assert!(sol.is_solved());
+/// assert!((sol.x[0] - 1.0).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QpProblem {
+    /// Quadratic cost matrix, `n × n`, symmetric PSD.
+    pub p: Matrix,
+    /// Linear cost vector, length `n`.
+    pub q: Vec<f64>,
+    /// Constraint matrix, `m × n`.
+    pub a: Matrix,
+    /// Lower bounds, length `m`.
+    pub l: Vec<f64>,
+    /// Upper bounds, length `m`.
+    pub u: Vec<f64>,
+}
+
+impl QpProblem {
+    /// Build and validate a problem.
+    pub fn new(p: Matrix, q: Vec<f64>, a: Matrix, l: Vec<f64>, u: Vec<f64>) -> Result<Self> {
+        let n = q.len();
+        let m = l.len();
+        if p.rows() != n || p.cols() != n {
+            return Err(SolverError::Dimension("P must be n×n matching q"));
+        }
+        if a.cols() != n {
+            return Err(SolverError::Dimension("A must have n columns"));
+        }
+        if a.rows() != m || u.len() != m {
+            return Err(SolverError::Dimension("A, l, u must agree on m"));
+        }
+        for (i, (&lo, &hi)) in l.iter().zip(&u).enumerate() {
+            if lo > hi {
+                return Err(SolverError::InfeasibleBounds { row: i });
+            }
+            if lo.is_nan() || hi.is_nan() {
+                return Err(SolverError::Dimension("bounds must not be NaN"));
+            }
+        }
+        let mut p = p;
+        p.symmetrize_mut();
+        Ok(QpProblem { p, q, a, l, u })
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.l.len()
+    }
+
+    /// Objective value `½ xᵀPx + qᵀx` at a point.
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        0.5 * self.p.quadratic_form(x).expect("dimension checked") + spotweb_linalg::vector::dot(&self.q, x)
+    }
+
+    /// Worst constraint violation `max(l − Ax, Ax − u, 0)` at a point.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let ax = self.a.matvec(x).expect("dimension checked");
+        let mut v: f64 = 0.0;
+        for ((axi, &lo), &hi) in ax.iter().zip(&self.l).zip(&self.u) {
+            v = v.max(lo - axi).max(axi - hi);
+        }
+        v
+    }
+}
+
+/// Solver tuning knobs. [`Settings::default`] matches OSQP's defaults
+/// closely and works for all SpotWeb portfolio instances.
+#[derive(Debug, Clone)]
+pub struct Settings {
+    /// Initial ADMM penalty ρ.
+    pub rho: f64,
+    /// Cost regularization σ (keeps the KKT system positive definite).
+    pub sigma: f64,
+    /// Over-relaxation parameter (1.0 = none; 1.6 is a good default).
+    pub alpha: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Absolute tolerance for the primal/dual residuals.
+    pub eps_abs: f64,
+    /// Relative tolerance for the primal/dual residuals.
+    pub eps_rel: f64,
+    /// Re-tune ρ from the residual ratio every this many iterations
+    /// (0 disables adaptation).
+    pub adaptive_rho_interval: usize,
+    /// Refactor only when ρ changes by more than this multiplicative
+    /// factor (avoids thrashing the Cholesky cache).
+    pub adaptive_rho_tolerance: f64,
+    /// Check termination every this many iterations.
+    pub check_interval: usize,
+    /// Apply Ruiz equilibration before solving.
+    pub scaling: bool,
+    /// Number of Ruiz iterations when `scaling` is on.
+    pub scaling_iters: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            rho: 0.1,
+            sigma: 1e-6,
+            alpha: 1.6,
+            max_iter: 4000,
+            eps_abs: 1e-6,
+            eps_rel: 1e-6,
+            adaptive_rho_interval: 50,
+            adaptive_rho_tolerance: 5.0,
+            check_interval: 10,
+            scaling: true,
+            scaling_iters: 10,
+        }
+    }
+}
+
+/// Why the solver stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpStatus {
+    /// Residuals met the requested tolerances.
+    Solved,
+    /// Hit `max_iter` before converging (the iterate is still usable,
+    /// check the reported residuals).
+    MaxIterations,
+}
+
+/// The result of a solve.
+#[derive(Debug, Clone)]
+pub struct QpSolution {
+    /// Primal solution.
+    pub x: Vec<f64>,
+    /// Dual solution (Lagrange multipliers of `l ≤ Ax ≤ u`).
+    pub y: Vec<f64>,
+    /// Final slack `z ≈ Ax`, projected into `[l, u]`.
+    pub z: Vec<f64>,
+    /// Termination status.
+    pub status: QpStatus,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Final primal residual `‖Ax − z‖∞`.
+    pub primal_residual: f64,
+    /// Final dual residual `‖Px + q + Aᵀy‖∞`.
+    pub dual_residual: f64,
+}
+
+impl QpSolution {
+    /// `true` when the solver reports full convergence.
+    pub fn is_solved(&self) -> bool {
+        self.status == QpStatus::Solved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> QpProblem {
+        QpProblem::new(
+            Matrix::identity(2),
+            vec![0.0, 0.0],
+            Matrix::identity(2),
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_validated() {
+        let bad = QpProblem::new(
+            Matrix::identity(2),
+            vec![0.0; 3],
+            Matrix::identity(2),
+            vec![0.0; 2],
+            vec![1.0; 2],
+        );
+        assert!(matches!(bad, Err(SolverError::Dimension(_))));
+    }
+
+    #[test]
+    fn crossing_bounds_rejected() {
+        let bad = QpProblem::new(
+            Matrix::identity(1),
+            vec![0.0],
+            Matrix::identity(1),
+            vec![2.0],
+            vec![1.0],
+        );
+        assert!(matches!(bad, Err(SolverError::InfeasibleBounds { row: 0 })));
+    }
+
+    #[test]
+    fn objective_and_violation() {
+        let p = tiny();
+        assert_eq!(p.objective(&[1.0, 1.0]), 1.0);
+        assert_eq!(p.max_violation(&[0.5, 0.5]), 0.0);
+        assert_eq!(p.max_violation(&[2.0, 0.5]), 1.0);
+        assert_eq!(p.max_violation(&[-0.25, 0.5]), 0.25);
+    }
+
+    #[test]
+    fn p_is_symmetrized() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let prob = QpProblem::new(
+            p,
+            vec![0.0; 2],
+            Matrix::identity(2),
+            vec![0.0; 2],
+            vec![1.0; 2],
+        )
+        .unwrap();
+        assert_eq!(prob.p[(0, 1)], 1.0);
+        assert_eq!(prob.p[(1, 0)], 1.0);
+    }
+
+    #[test]
+    fn nan_bounds_rejected() {
+        let bad = QpProblem::new(
+            Matrix::identity(1),
+            vec![0.0],
+            Matrix::identity(1),
+            vec![f64::NAN],
+            vec![1.0],
+        );
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Ruiz equilibration.
+//!
+//! Portfolio QPs are badly scaled out of the box: per-request costs are
+//! ~1e-5 while allocation fractions are ~1 and penalty terms can be
+//! ~1e2. Ruiz equilibration iteratively normalizes the rows/columns of
+//! the stacked KKT data so the ADMM residuals are commensurate, which
+//! dramatically reduces iteration counts.
+//!
+//! We scale the problem
+//! `min ½xᵀPx + qᵀx, l ≤ Ax ≤ u` to
+//! `min ½x̄ᵀ(cDPD)x̄ + (cDq)ᵀx̄, El ≤ (EAD)x̄ ≤ Eu` with diagonal `D`,
+//! `E` and cost scalar `c`, solving in the scaled space and unscaling
+//! `x = Dx̄`, `y = cE ȳ`.
+
+use spotweb_linalg::Matrix;
+
+use crate::qp::QpProblem;
+
+/// Diagonal scalings produced by [`ruiz_equilibrate`].
+#[derive(Debug, Clone)]
+pub struct Scaling {
+    /// Variable scaling (length n): `x = d ⊙ x̄`.
+    pub d: Vec<f64>,
+    /// Constraint scaling (length m): scaled rows are `e[i] · a_i`.
+    pub e: Vec<f64>,
+    /// Cost scalar `c`.
+    pub c: f64,
+}
+
+impl Scaling {
+    /// The identity scaling (used when scaling is disabled).
+    pub fn identity(n: usize, m: usize) -> Self {
+        Scaling {
+            d: vec![1.0; n],
+            e: vec![1.0; m],
+            c: 1.0,
+        }
+    }
+
+    /// Map a scaled primal iterate back to the original space.
+    pub fn unscale_x(&self, x_bar: &[f64]) -> Vec<f64> {
+        x_bar.iter().zip(&self.d).map(|(v, d)| v * d).collect()
+    }
+
+    /// Map a scaled dual iterate back to the original space.
+    pub fn unscale_y(&self, y_bar: &[f64]) -> Vec<f64> {
+        y_bar
+            .iter()
+            .zip(&self.e)
+            .map(|(v, e)| v * e / self.c)
+            .collect()
+    }
+}
+
+/// Infinity norm of column `j` over both `P` (n rows) and `A` (m rows).
+fn col_norm(p: &Matrix, a: &Matrix, j: usize) -> f64 {
+    let mut nrm: f64 = 0.0;
+    for i in 0..p.rows() {
+        nrm = nrm.max(p[(i, j)].abs());
+    }
+    for i in 0..a.rows() {
+        nrm = nrm.max(a[(i, j)].abs());
+    }
+    nrm
+}
+
+/// Infinity norm of row `i` of `A`.
+fn row_norm(a: &Matrix, i: usize) -> f64 {
+    a.row(i).iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+fn safe_inv_sqrt(v: f64) -> f64 {
+    if v < 1e-10 {
+        1.0
+    } else {
+        1.0 / v.sqrt()
+    }
+}
+
+/// Equilibrate the problem in place, returning the applied [`Scaling`].
+///
+/// `iters` rounds of the modified Ruiz iteration (as in OSQP §5.1),
+/// followed by a cost normalization that picks `c` so the scaled
+/// objective gradient has unit-ish magnitude.
+pub fn ruiz_equilibrate(problem: &mut QpProblem, iters: usize) -> Scaling {
+    let n = problem.num_vars();
+    let m = problem.num_constraints();
+    let mut scaling = Scaling::identity(n, m);
+
+    for _ in 0..iters {
+        // Column scalings from max |entry| per variable across P and A.
+        let delta_d: Vec<f64> = (0..n)
+            .map(|j| safe_inv_sqrt(col_norm(&problem.p, &problem.a, j)))
+            .collect();
+        // Row scalings for A.
+        let delta_e: Vec<f64> = (0..m)
+            .map(|i| safe_inv_sqrt(row_norm(&problem.a, i)))
+            .collect();
+
+        // P ← D P D.
+        for i in 0..n {
+            for j in 0..n {
+                problem.p[(i, j)] *= delta_d[i] * delta_d[j];
+            }
+        }
+        // q ← D q.
+        for j in 0..n {
+            problem.q[j] *= delta_d[j];
+        }
+        // A ← E A D.
+        for i in 0..m {
+            for j in 0..n {
+                problem.a[(i, j)] *= delta_e[i] * delta_d[j];
+            }
+        }
+        // Bounds ← E ⊙ bounds.
+        for i in 0..m {
+            problem.l[i] *= delta_e[i];
+            problem.u[i] *= delta_e[i];
+        }
+        for j in 0..n {
+            scaling.d[j] *= delta_d[j];
+        }
+        for i in 0..m {
+            scaling.e[i] *= delta_e[i];
+        }
+    }
+
+    // Cost normalization: c = 1 / max(mean column norm of P, ‖q‖∞).
+    let mean_p_col: f64 = if n == 0 {
+        0.0
+    } else {
+        (0..n)
+            .map(|j| {
+                (0..n)
+                    .map(|i| problem.p[(i, j)].abs())
+                    .fold(0.0_f64, f64::max)
+            })
+            .sum::<f64>()
+            / n as f64
+    };
+    let q_norm = spotweb_linalg::vector::norm_inf(&problem.q);
+    let denom = mean_p_col.max(q_norm);
+    let c = if denom < 1e-10 { 1.0 } else { 1.0 / denom };
+    problem.p.scale_mut(c);
+    for v in &mut problem.q {
+        *v *= c;
+    }
+    scaling.c = c;
+    scaling
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotweb_linalg::Matrix;
+
+    fn badly_scaled() -> QpProblem {
+        QpProblem::new(
+            Matrix::from_diag(&[1e6, 1e-4]),
+            vec![1e5, 1e-3],
+            Matrix::from_rows(&[&[1e3, 0.0], &[0.0, 1e-2]]),
+            vec![0.0, 0.0],
+            vec![1e3, 1e-2],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equilibration_flattens_norms() {
+        let mut p = badly_scaled();
+        ruiz_equilibrate(&mut p, 10);
+        // After equilibration all row norms of A should be near 1.
+        for i in 0..p.a.rows() {
+            let rn = p.a.row(i).iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+            assert!((rn - 1.0).abs() < 0.2, "row {i} norm {rn}");
+        }
+    }
+
+    #[test]
+    fn unscaling_round_trips_solution() {
+        let mut p = badly_scaled();
+        // x̄ feasible in scaled space maps to x feasible in the original.
+        let orig = badly_scaled();
+        let s = ruiz_equilibrate(&mut p, 10);
+        let x_bar = vec![0.5 / s.d[0].max(1e-30) * s.d[0], 0.0]; // arbitrary
+        let x = s.unscale_x(&x_bar);
+        assert_eq!(x.len(), 2);
+        // The scaled constraint l̄ ≤ Āx̄ ≤ ū iff original l ≤ Ax ≤ u.
+        let scaled_violation = p.max_violation(&x_bar);
+        let orig_violation = orig.max_violation(&x);
+        assert!((scaled_violation <= 1e-9) == (orig_violation <= 1e-6));
+    }
+
+    #[test]
+    fn identity_scaling_is_noop() {
+        let s = Scaling::identity(3, 2);
+        assert_eq!(s.unscale_x(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.unscale_y(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_matrix_does_not_explode() {
+        let mut p = QpProblem::new(
+            Matrix::zeros(2, 2),
+            vec![0.0; 2],
+            Matrix::zeros(1, 2),
+            vec![0.0],
+            vec![1.0],
+        )
+        .unwrap();
+        let s = ruiz_equilibrate(&mut p, 5);
+        assert!(s.d.iter().all(|v| v.is_finite() && *v > 0.0));
+        assert!(s.c.is_finite() && s.c > 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! CSV round-tripping of traces.
+//!
+//! The paper open-sources its workload data as CSV; this module gives
+//! the same interchange surface so users can import real traces (e.g.
+//! the public Wikimedia pageview dumps) or export generated ones for
+//! external plotting. The format is two columns with a header:
+//! `time_secs,rate_rps`.
+
+use std::io::{BufRead, Write};
+
+use crate::trace::Trace;
+
+/// Error type for trace IO.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A data row failed to parse.
+    Parse {
+        /// 1-based line number of the bad row.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The file has fewer than 2 data rows (interval is undefined).
+    TooShort,
+    /// Rows are not evenly spaced in time.
+    IrregularInterval {
+        /// 1-based line number where the spacing broke.
+        line: usize,
+    },
+}
+
+impl core::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "io error: {e}"),
+            TraceIoError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            TraceIoError::TooShort => write!(f, "trace needs at least two rows"),
+            TraceIoError::IrregularInterval { line } => {
+                write!(f, "irregular sampling interval at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Write a trace as CSV.
+pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    writeln!(w, "time_secs,rate_rps")?;
+    for (i, v) in trace.values.iter().enumerate() {
+        writeln!(w, "{},{}", i as f64 * trace.interval_secs, v)?;
+    }
+    Ok(())
+}
+
+/// Read a trace from CSV (format produced by [`write_csv`]).
+pub fn read_csv<R: BufRead>(r: R) -> Result<Trace, TraceIoError> {
+    let mut times = Vec::new();
+    let mut values = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if lineno == 0 || line.is_empty() {
+            continue; // header / trailing newline
+        }
+        let mut parts = line.split(',');
+        let t: f64 = parts
+            .next()
+            .ok_or_else(|| TraceIoError::Parse {
+                line: lineno + 1,
+                reason: "missing time column".into(),
+            })?
+            .trim()
+            .parse()
+            .map_err(|e| TraceIoError::Parse {
+                line: lineno + 1,
+                reason: format!("bad time: {e}"),
+            })?;
+        let v: f64 = parts
+            .next()
+            .ok_or_else(|| TraceIoError::Parse {
+                line: lineno + 1,
+                reason: "missing rate column".into(),
+            })?
+            .trim()
+            .parse()
+            .map_err(|e| TraceIoError::Parse {
+                line: lineno + 1,
+                reason: format!("bad rate: {e}"),
+            })?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(TraceIoError::Parse {
+                line: lineno + 1,
+                reason: "rate must be finite and non-negative".into(),
+            });
+        }
+        times.push(t);
+        values.push(v);
+    }
+    if times.len() < 2 {
+        return Err(TraceIoError::TooShort);
+    }
+    let interval = times[1] - times[0];
+    if interval <= 0.0 {
+        return Err(TraceIoError::IrregularInterval { line: 3 });
+    }
+    for (i, w) in times.windows(2).enumerate() {
+        if ((w[1] - w[0]) - interval).abs() > 1e-6 * interval.max(1.0) {
+            return Err(TraceIoError::IrregularInterval { line: i + 3 });
+        }
+    }
+    Ok(Trace::new(interval, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let t = crate::wikipedia::wikipedia_like(48, 1);
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.interval_secs, t.interval_secs);
+        assert_eq!(back.len(), t.len());
+        for (a, b) in back.values.iter().zip(&t.values) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let data = "time_secs,rate_rps\n0,100\n3600,not_a_number\n";
+        assert!(matches!(
+            read_csv(data.as_bytes()),
+            Err(TraceIoError::Parse { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_short() {
+        let data = "time_secs,rate_rps\n0,100\n";
+        assert!(matches!(read_csv(data.as_bytes()), Err(TraceIoError::TooShort)));
+    }
+
+    #[test]
+    fn rejects_irregular() {
+        let data = "time_secs,rate_rps\n0,1\n10,2\n25,3\n";
+        assert!(matches!(
+            read_csv(data.as_bytes()),
+            Err(TraceIoError::IrregularInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_rate() {
+        let data = "time_secs,rate_rps\n0,1\n10,-2\n";
+        assert!(matches!(read_csv(data.as_bytes()), Err(TraceIoError::Parse { .. })));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = "time_secs,rate_rps\n0,1\n10,2\n\n";
+        let t = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Flash-crowd spike machinery shared by the VoD generator and the
+//! failure-injection tests.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::trace::Trace;
+
+/// Description of one injected spike.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spike {
+    /// Sample index at which the spike starts.
+    pub start: usize,
+    /// Peak magnitude as a multiple of the pre-spike level (1.0 = +100%).
+    pub magnitude: f64,
+    /// Ramp-up length in samples.
+    pub ramp: usize,
+    /// Decay half-life in samples.
+    pub half_life: f64,
+}
+
+/// Add `spikes` to a copy of `trace`. Each spike ramps up linearly over
+/// `ramp` samples then decays exponentially with `half_life`.
+pub fn inject_spikes(trace: &Trace, spikes: &[Spike]) -> Trace {
+    let mut values = trace.values.clone();
+    for s in spikes {
+        assert!(s.start < values.len(), "spike start inside trace");
+        // Magnitude is relative to the *original* level so superposed
+        // spikes don't compound multiplicatively.
+        let base = trace.values[s.start];
+        let extra = base * s.magnitude;
+        // Ramp.
+        for k in 0..s.ramp {
+            let i = s.start + k;
+            if i >= values.len() {
+                break;
+            }
+            values[i] += extra * (k + 1) as f64 / s.ramp.max(1) as f64;
+        }
+        // Decay, starting one half-life step below the peak.
+        let decay = (0.5_f64).powf(1.0 / s.half_life.max(1e-9));
+        let mut i = s.start + s.ramp;
+        let mut level = extra * decay;
+        while i < values.len() && level > 0.01 * extra {
+            values[i] += level;
+            level *= decay;
+            i += 1;
+        }
+    }
+    Trace::new(trace.interval_secs, values)
+}
+
+/// Sample a random set of spikes: Poisson-ish arrivals with rate
+/// `rate_per_sample`, magnitudes uniform in `[min_mag, max_mag]`.
+pub fn random_spikes(
+    len: usize,
+    rate_per_sample: f64,
+    min_mag: f64,
+    max_mag: f64,
+    seed: u64,
+) -> Vec<Spike> {
+    assert!(min_mag <= max_mag);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for start in 0..len {
+        if rng.gen::<f64>() < rate_per_sample {
+            out.push(Spike {
+                start,
+                magnitude: rng.gen_range(min_mag..=max_mag),
+                ramp: rng.gen_range(1..=2),
+                half_life: rng.gen_range(1.0..4.0),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(len: usize) -> Trace {
+        Trace::new(3600.0, vec![100.0; len])
+    }
+
+    #[test]
+    fn spike_raises_level_then_decays() {
+        let t = inject_spikes(
+            &flat(20),
+            &[Spike {
+                start: 5,
+                magnitude: 1.0,
+                ramp: 1,
+                half_life: 1.0,
+            }],
+        );
+        assert_eq!(t.values[4], 100.0);
+        assert_eq!(t.values[5], 200.0); // +100%
+        assert!(t.values[6] > 100.0 && t.values[6] < 200.0);
+        assert!(t.values[10] < t.values[6]);
+    }
+
+    #[test]
+    fn multiple_spikes_superpose() {
+        let spikes = [
+            Spike { start: 2, magnitude: 0.5, ramp: 1, half_life: 1.0 },
+            Spike { start: 2, magnitude: 0.5, ramp: 1, half_life: 1.0 },
+        ];
+        let t = inject_spikes(&flat(10), &spikes);
+        assert_eq!(t.values[2], 200.0);
+    }
+
+    #[test]
+    fn spike_near_end_is_truncated() {
+        let t = inject_spikes(
+            &flat(5),
+            &[Spike { start: 4, magnitude: 2.0, ramp: 3, half_life: 2.0 }],
+        );
+        assert_eq!(t.len(), 5);
+        assert!(t.values[4] > 100.0);
+    }
+
+    #[test]
+    fn random_spikes_deterministic_and_in_range() {
+        let a = random_spikes(1000, 0.01, 0.5, 3.0, 9);
+        let b = random_spikes(1000, 0.01, 0.5, 3.0, 9);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|s| s.magnitude >= 0.5 && s.magnitude <= 3.0));
+        assert!(a.iter().all(|s| s.start < 1000));
+    }
+
+    #[test]
+    fn zero_rate_no_spikes() {
+        assert!(random_spikes(1000, 0.0, 1.0, 2.0, 1).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Summary statistics over traces (used for the Fig. 3 table rows and
+//! sanity checks in EXPERIMENTS.md).
+
+use spotweb_linalg::vector;
+
+use crate::trace::Trace;
+
+/// Descriptive statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Sample count.
+    pub len: usize,
+    /// Mean rate (req/s).
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum (peak).
+    pub max: f64,
+    /// 50th percentile.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Peak-to-mean ratio (burstiness indicator).
+    pub peak_to_mean: f64,
+    /// Count of hour-over-hour jumps > 50% (spike count).
+    pub large_jumps: usize,
+}
+
+impl TraceStats {
+    /// Compute stats for a trace.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let v = &trace.values;
+        let mean = vector::mean(v);
+        let mut sorted = v.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in traces"));
+        let min = sorted.first().copied().unwrap_or(0.0);
+        let max = sorted.last().copied().unwrap_or(0.0);
+        let large_jumps = v
+            .windows(2)
+            .filter(|w| w[1] > 1.5 * w[0].max(1.0))
+            .count();
+        TraceStats {
+            len: v.len(),
+            mean,
+            std_dev: vector::std_dev(v),
+            min,
+            max,
+            p50: vector::percentile_sorted(&sorted, 50.0),
+            p95: vector::percentile_sorted(&sorted, 95.0),
+            p99: vector::percentile_sorted(&sorted, 99.0),
+            peak_to_mean: if mean > 0.0 { max / mean } else { 0.0 },
+            large_jumps,
+        }
+    }
+}
+
+/// Autocorrelation of a series at a given lag (diurnality shows up as a
+/// strong peak at lag 24 for hourly traces).
+pub fn autocorrelation(values: &[f64], lag: usize) -> f64 {
+    if lag >= values.len() || values.len() < 2 {
+        return 0.0;
+    }
+    vector::correlation(&values[..values.len() - lag], &values[lag..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_series() {
+        let t = Trace::new(1.0, vec![1.0, 2.0, 3.0, 4.0]);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.5);
+        assert!((s.peak_to_mean - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_jumps_counted() {
+        let t = Trace::new(1.0, vec![10.0, 30.0, 31.0, 100.0]);
+        let s = TraceStats::of(&t);
+        assert_eq!(s.large_jumps, 2); // 10→30 and 31→100
+    }
+
+    #[test]
+    fn empty_trace_safe() {
+        let s = TraceStats::of(&Trace::new(1.0, vec![]));
+        assert_eq!(s.len, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.peak_to_mean, 0.0);
+    }
+
+    #[test]
+    fn diurnal_autocorrelation() {
+        let t = crate::wikipedia::wikipedia_like(21 * 24, 1);
+        let ac24 = autocorrelation(&t.values, 24);
+        let ac7 = autocorrelation(&t.values, 7);
+        assert!(ac24 > 0.7, "lag-24 autocorrelation {ac24}");
+        assert!(ac24 > ac7, "diurnal lag must dominate odd lags");
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0);
+        assert_eq!(autocorrelation(&[], 0), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Video-on-Demand (TV4-like) workload generator.
+//!
+//! The paper's second trace comes from TV4, a Swedish VoD provider:
+//! strongly evening-skewed diurnal demand (prime time ~20:00–22:00
+//! local), near-idle early mornings, and "multiple, hard to predict
+//! spikes" — premieres and sports events that multiply load within an
+//! hour. That spikiness is what limits SpotWeb's savings to ~25% on
+//! this trace (vs ~50% on Wikipedia), so the generator makes it a
+//! first-class parameter.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::spikes::{inject_spikes, random_spikes};
+use crate::trace::Trace;
+
+/// Parameters of the VoD generator.
+#[derive(Debug, Clone)]
+pub struct VodParams {
+    /// Mean request rate (req/s).
+    pub mean_rate: f64,
+    /// Prime-time concentration: peak-hour demand as a multiple of the
+    /// daily mean (2.2 ≈ strongly evening-skewed).
+    pub prime_time_boost: f64,
+    /// Night floor as a fraction of the mean.
+    pub night_floor: f64,
+    /// Weekend evenings are busier by this fraction.
+    pub weekend_boost: f64,
+    /// AR(1) noise standard deviation.
+    pub noise_sd: f64,
+    /// AR(1) noise persistence.
+    pub noise_phi: f64,
+    /// Flash-spike arrival rate per hour.
+    pub spike_rate: f64,
+    /// Flash-spike magnitude range (multiples of current level).
+    pub spike_magnitude: (f64, f64),
+}
+
+impl Default for VodParams {
+    fn default() -> Self {
+        VodParams {
+            mean_rate: 1500.0,
+            prime_time_boost: 2.2,
+            night_floor: 0.15,
+            weekend_boost: 0.2,
+            noise_sd: 0.05,
+            noise_phi: 0.5,
+            spike_rate: 0.008, // ≈ 4 spikes per three-week trace
+            spike_magnitude: (0.8, 2.5),
+        }
+    }
+}
+
+/// Generate an hourly VoD-like trace of `hours` samples.
+pub fn vod_like(hours: usize, seed: u64) -> Trace {
+    vod_with(hours, seed, &VodParams::default())
+}
+
+/// Generate with explicit parameters.
+pub fn vod_with(hours: usize, seed: u64, p: &VodParams) -> Trace {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut noise = 0.0_f64;
+    let mut values = Vec::with_capacity(hours);
+    for h in 0..hours {
+        let hod = (h % 24) as f64;
+        let day = h / 24;
+        // Evening-skewed shape: Gaussian bump centered at 21:00 with a
+        // shoulder from ~18:00, floored at `night_floor`.
+        let prime = (-((hod - 21.0) * (hod - 21.0)) / (2.0 * 3.0 * 3.0)).exp();
+        let shoulder = (-((hod - 18.0) * (hod - 18.0)) / (2.0 * 4.0 * 4.0)).exp();
+        let mut shape = p.night_floor + (p.prime_time_boost - p.night_floor) * prime.max(0.6 * shoulder);
+        if day % 7 >= 5 && (18.0..=23.0).contains(&hod) {
+            shape *= 1.0 + p.weekend_boost;
+        }
+        let eps: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        noise = p.noise_phi * noise + p.noise_sd * eps;
+        values.push((p.mean_rate * shape * (1.0 + noise)).max(0.0));
+    }
+    let base = Trace::new(3600.0, values);
+    // Inject hard-to-predict flash spikes with an independent stream.
+    let spikes = random_spikes(
+        hours,
+        p.spike_rate,
+        p.spike_magnitude.0,
+        p.spike_magnitude.1,
+        seed.wrapping_add(0x51CE5),
+    );
+    let spiked = inject_spikes(&base, &spikes);
+    // Re-center on the requested mean (spikes raise it slightly).
+    spiked.with_mean(p.mean_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const THREE_WEEKS: usize = 21 * 24;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(vod_like(THREE_WEEKS, 1).values, vod_like(THREE_WEEKS, 1).values);
+        assert_ne!(vod_like(THREE_WEEKS, 1).values, vod_like(THREE_WEEKS, 2).values);
+    }
+
+    #[test]
+    fn prime_time_dominates() {
+        let t = vod_like(THREE_WEEKS, 3);
+        let avg_at = |hod: usize| {
+            let vals: Vec<f64> = t
+                .values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 24 == hod)
+                .map(|(_, v)| *v)
+                .collect();
+            spotweb_linalg::vector::mean(&vals)
+        };
+        assert!(avg_at(21) > 3.0 * avg_at(4), "prime time must dwarf night");
+    }
+
+    #[test]
+    fn has_multiple_hard_spikes() {
+        // The defining property vs Wikipedia: several >50% hour-over-hour
+        // jumps across three weeks.
+        let t = vod_like(THREE_WEEKS, 4);
+        let jumps = t
+            .values
+            .windows(2)
+            .filter(|w| w[1] > 1.5 * w[0].max(1.0))
+            .count();
+        assert!(jumps >= 2, "expected multiple spikes, got {jumps}");
+    }
+
+    #[test]
+    fn spikier_than_wikipedia() {
+        let wiki = crate::wikipedia::wikipedia_like(THREE_WEEKS, 5);
+        let vod = vod_like(THREE_WEEKS, 5);
+        let spike_count = |t: &Trace| {
+            t.values
+                .windows(2)
+                .filter(|w| (w[1] - w[0]).abs() > 0.4 * w[0].max(1.0))
+                .count()
+        };
+        assert!(spike_count(&vod) > spike_count(&wiki));
+    }
+
+    #[test]
+    fn mean_near_target() {
+        let t = vod_like(THREE_WEEKS, 6);
+        assert!((t.mean() - 1500.0).abs() / 1500.0 < 0.05, "mean {}", t.mean());
+    }
+
+    #[test]
+    fn custom_params_respected() {
+        let p = VodParams {
+            spike_rate: 0.0,
+            noise_sd: 0.0,
+            ..VodParams::default()
+        };
+        let t = vod_with(48, 7, &p);
+        // Without spikes/noise two identical days repeat exactly.
+        for h in 0..24 {
+            assert!((t.values[h] - t.values[h + 24]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests on the workload generators and trace utilities.
+
+use proptest::prelude::*;
+use spotweb_workload::io::{read_csv, write_csv};
+use spotweb_workload::spikes::{inject_spikes, random_spikes};
+use spotweb_workload::{vod_like, wikipedia_like};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Generators produce finite, non-negative traces of the requested
+    /// length, deterministically per seed.
+    #[test]
+    fn generators_are_sane(hours in 24usize..600, seed in 0u64..10_000) {
+        for t in [wikipedia_like(hours, seed), vod_like(hours, seed)] {
+            prop_assert_eq!(t.len(), hours);
+            prop_assert!(t.values.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+        prop_assert_eq!(wikipedia_like(hours, seed).values, wikipedia_like(hours, seed).values);
+        prop_assert_eq!(vod_like(hours, seed).values, vod_like(hours, seed).values);
+    }
+
+    /// Rescaling hits the target mean exactly and preserves shape.
+    #[test]
+    fn with_mean_is_exact(hours in 24usize..300, seed in 0u64..10_000, target in 1.0f64..1e6) {
+        let t = wikipedia_like(hours, seed);
+        let scaled = t.with_mean(target);
+        prop_assert!((scaled.mean() - target).abs() < 1e-6 * target);
+        // Shape preserved: ratios between samples unchanged.
+        let r_orig = t.values[1] / t.values[0].max(1e-12);
+        let r_scaled = scaled.values[1] / scaled.values[0].max(1e-12);
+        prop_assert!((r_orig - r_scaled).abs() < 1e-9 * (1.0 + r_orig.abs()));
+    }
+
+    /// Spike injection only ever raises the trace.
+    #[test]
+    fn spikes_only_add(len in 10usize..200, seed in 0u64..10_000) {
+        let base = wikipedia_like(len, seed);
+        let spikes = random_spikes(len, 0.05, 0.5, 3.0, seed);
+        let spiked = inject_spikes(&base, &spikes);
+        for (s, b) in spiked.values.iter().zip(&base.values) {
+            prop_assert!(s + 1e-9 >= *b);
+        }
+    }
+
+    /// CSV round trip is lossless (to printed precision).
+    #[test]
+    fn csv_round_trip(hours in 2usize..200, seed in 0u64..10_000) {
+        let t = vod_like(hours, seed);
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), t.len());
+        for (a, b) in back.values.iter().zip(&t.values) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Downsampling preserves the overall mean.
+    #[test]
+    fn downsample_preserves_mean(hours in 24usize..240, seed in 0u64..10_000, k in 1usize..6) {
+        let t = wikipedia_like(hours - hours % k, seed);
+        if t.is_empty() { return Ok(()); }
+        let d = t.downsample(k);
+        prop_assert!((d.mean() - t.mean()).abs() < 1e-6 * t.mean().max(1.0));
+    }
+
+    /// rate_at interpolation is bounded by neighbouring samples.
+    #[test]
+    fn rate_at_within_neighbours(seed in 0u64..10_000, frac in 0.0f64..1.0) {
+        let t = wikipedia_like(48, seed);
+        let i = 10;
+        let time = (i as f64 + frac) * t.interval_secs;
+        let r = t.rate_at(time);
+        let lo = t.values[i].min(t.values[i + 1]);
+        let hi = t.values[i].max(t.values[i + 1]);
+        prop_assert!(r >= lo - 1e-9 && r <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,48 @@
+//! Failover drill: watch a transiency-aware cluster survive a
+//! correlated revocation that wrecks a vanilla one.
+//!
+//! Reproduces the paper's Fig. 4(a) testbed experiment in the
+//! discrete-event simulator: a six-server heterogeneous MediaWiki-style
+//! cluster at ~600 req/s loses four servers to correlated spot
+//! revocations three minutes in. The SpotWeb balancer reacts to the
+//! 120 s warning (drain + migrate + reactive replacement); vanilla WRR
+//! keeps routing to the doomed servers.
+//!
+//! Run with: `cargo run --release --example failover_drill`
+
+use spotweb::sim::scenario::FailoverScenario;
+
+fn main() {
+    for aware in [true, false] {
+        let label = if aware { "SpotWeb (transiency-aware)" } else { "vanilla WRR" };
+        let report = FailoverScenario {
+            transiency_aware: aware,
+            ..FailoverScenario::default()
+        }
+        .run();
+
+        println!("=== {label} ===");
+        println!("  served {:>7}   dropped {:>6}   drop rate {:>6.2}%", report.served, report.dropped, 100.0 * report.drop_fraction);
+        println!("  overall p90 {:>5.0} ms   p99 {:>5.0} ms", 1000.0 * report.p90, 1000.0 * report.p99);
+        println!("  sessions migrated {:>5}   sessions lost {:>5}", report.migrated_sessions, report.lost_sessions);
+        println!("  minute-by-minute (revocation warning fires at t = 180 s):");
+        println!("    minute   served   mean    p50     p90     p99   dropped");
+        for b in &report.buckets {
+            println!(
+                "    {:>4.0}s  {:>7}  {:>5.0}ms {:>5.0}ms {:>6.0}ms {:>6.0}ms  {:>6}",
+                b.start,
+                b.count,
+                1000.0 * b.mean,
+                1000.0 * b.p50,
+                1000.0 * b.p90,
+                1000.0 * b.p99,
+                b.dropped
+            );
+        }
+        println!();
+    }
+    println!("The SpotWeb balancer exploits the revocation warning: sessions migrate");
+    println!("within the warning window and replacements boot before the servers die,");
+    println!("so no request is lost. Vanilla WRR keeps routing to the doomed servers");
+    println!("and collapses when they disappear.");
+}

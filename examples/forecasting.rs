@@ -1,0 +1,53 @@
+//! Forecasting playground: compare SpotWeb's predictor stack against
+//! the baselines on both paper workloads.
+//!
+//! Backtests five predictors (one-step-ahead) on three evaluated weeks
+//! after a two-week warm-up, printing the error profile of each — the
+//! study behind Fig. 4(b–d) and the over-provisioning design of §4.3.
+//!
+//! Run with: `cargo run --release --example forecasting`
+
+use spotweb::predict::metrics::{backtest, ErrorSummary};
+use spotweb::predict::{
+    AliEldinPredictor, MovingAveragePredictor, ReactivePredictor, SeasonalNaivePredictor,
+    SeriesPredictor, SpotWebPredictor,
+};
+use spotweb::workload::{vod_like, wikipedia_like, Trace};
+
+fn report(name: &str, trace: &Trace) {
+    println!("== {name} (mean {:.0} req/s, peak {:.0} req/s)", trace.mean(), trace.peak());
+    println!(
+        "{:<18} {:>8} {:>11} {:>11} {:>11} {:>11}",
+        "predictor", "MAE", "mean-over", "max-over", "max-under", "under-freq"
+    );
+    let warmup = 2 * 7 * 24;
+    let preds: Vec<(&str, Box<dyn SeriesPredictor>)> = vec![
+        ("spotweb (99% CI)", Box::new(SpotWebPredictor::new())),
+        ("ali-eldin-2014", Box::new(AliEldinPredictor::new())),
+        ("reactive", Box::new(ReactivePredictor::new())),
+        ("moving-avg(24h)", Box::new(MovingAveragePredictor::new(24))),
+        ("seasonal-naive", Box::new(SeasonalNaivePredictor::new(24))),
+    ];
+    for (label, mut p) in preds {
+        let errors = backtest(p.as_mut(), trace, warmup);
+        let s = ErrorSummary::of(&errors);
+        println!(
+            "{:<18} {:>7.2}% {:>10.2}% {:>10.2}% {:>10.2}% {:>10.2}%",
+            label,
+            100.0 * s.mae,
+            100.0 * s.mean_over,
+            100.0 * s.max_over,
+            100.0 * s.max_under,
+            100.0 * s.under_fraction
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let five_weeks = 5 * 7 * 24;
+    report("wikipedia-like workload", &wikipedia_like(five_weeks, 11));
+    report("vod-like workload (hard spikes)", &vod_like(five_weeks, 11));
+    println!("SpotWeb's padding buys near-zero under-provisioning (SLO safety) at the");
+    println!("price of deliberate over-provisioning — exactly the Fig. 4(c)/(d) trade.");
+}

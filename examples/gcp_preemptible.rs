@@ -1,0 +1,50 @@
+//! Portability drill (§7 "Other Cloud providers"): run the same
+//! policies on EC2-spot-like and Google-preemptible-like clouds.
+//!
+//! On GCP, prices are fixed (~70% off) so SpotWeb's price predictors
+//! have nothing to exploit — but the workload padding and SLO-aware
+//! provisioning still deliver the bulk of the savings over on-demand,
+//! which is exactly the paper's argument for portability.
+//!
+//! Run with: `cargo run --release --example gcp_preemptible`
+
+use spotweb::core::evaluate::EvalOptions;
+use spotweb::core::{simulate_costs, ExoSpherePolicy, OnDemandPolicy, SpotWebConfig, SpotWebPolicy};
+use spotweb::market::{Catalog, Provider};
+use spotweb::workload::wikipedia_like;
+
+fn main() {
+    let catalog = Catalog::ec2_subset(9).with_on_demand();
+    let n = catalog.len();
+    let trace = wikipedia_like(8 * 24, 3).with_mean(20_000.0);
+
+    println!("one week, mean 20 000 req/s, 9 transient markets (+ on-demand twins)\n");
+    println!(
+        "{:<20} {:>14} {:>14} {:>14} {:>16}",
+        "provider", "spotweb", "exosphere-loop", "on-demand", "vs on-demand"
+    );
+    for provider in [Provider::Ec2Spot, Provider::GcpPreemptible, Provider::AzureLowPriority] {
+        let options = EvalOptions {
+            intervals: 7 * 24,
+            seed: 7,
+            provider,
+            ..EvalOptions::default()
+        };
+        let mut sw = SpotWebPolicy::new(SpotWebConfig::default(), n);
+        let r_sw = simulate_costs(&mut sw, &catalog, &trace, &options);
+        let mut exo = ExoSpherePolicy::new(SpotWebConfig::default(), n);
+        let r_exo = simulate_costs(&mut exo, &catalog, &trace, &options);
+        let mut od = OnDemandPolicy::new();
+        let r_od = simulate_costs(&mut od, &catalog, &trace, &options);
+        println!(
+            "{:<20} {:>12.2}$ {:>12.2}$ {:>12.2}$ {:>15.1}%",
+            format!("{provider:?}"),
+            r_sw.total_cost(),
+            r_exo.total_cost(),
+            r_od.total_cost(),
+            100.0 * r_sw.savings_vs(&r_od)
+        );
+    }
+    println!("\nProvider quirks modeled: EC2 prices move (120 s warning); GCP prices are");
+    println!("fixed with 0.05–0.15 preemption and a 30 s warning; Azure bills hourly.");
+}

@@ -1,0 +1,134 @@
+//! End-to-end integration: market substrate → predictors → optimizer →
+//! cost evaluation, across crate boundaries through the `spotweb`
+//! facade.
+
+use spotweb::core::evaluate::EvalOptions;
+use spotweb::core::{
+    simulate_costs, ExoSpherePolicy, OnDemandPolicy, SpotWebConfig, SpotWebPolicy,
+};
+use spotweb::market::{estimate_correlation, Catalog, CloudSim};
+use spotweb::predict::{SeriesPredictor, SpotWebPredictor};
+use spotweb::workload::wikipedia_like;
+
+fn options(intervals: usize, seed: u64) -> EvalOptions {
+    EvalOptions {
+        intervals,
+        cloud_warmup: 24,
+        seed,
+        ..EvalOptions::default()
+    }
+}
+
+#[test]
+fn spotweb_beats_exosphere_and_on_demand() {
+    let catalog = Catalog::ec2_subset(9).with_on_demand();
+    let n = catalog.len();
+    let trace = wikipedia_like(6 * 24, 3).with_mean(20_000.0);
+    let opts = options(5 * 24, 11);
+
+    let mut sw = SpotWebPolicy::new(SpotWebConfig::default(), n);
+    let r_sw = simulate_costs(&mut sw, &catalog, &trace, &opts);
+    let mut exo = ExoSpherePolicy::new(SpotWebConfig::default(), n);
+    let r_exo = simulate_costs(&mut exo, &catalog, &trace, &opts);
+    let mut od = OnDemandPolicy::new();
+    let r_od = simulate_costs(&mut od, &catalog, &trace, &opts);
+
+    assert!(
+        r_sw.total_cost() < r_exo.total_cost(),
+        "spotweb {} vs exosphere {}",
+        r_sw.total_cost(),
+        r_exo.total_cost()
+    );
+    assert!(
+        r_sw.savings_vs(&r_od) > 0.5,
+        "savings vs on-demand {}",
+        r_sw.savings_vs(&r_od)
+    );
+    // SpotWeb keeps SLO violations (drops) below the 5%-style budget.
+    assert!(r_sw.drop_fraction() < 0.01, "drops {}", r_sw.drop_fraction());
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let catalog = Catalog::fig5_three_markets();
+        let trace = wikipedia_like(72, 5).with_mean(3000.0);
+        let mut sw = SpotWebPolicy::new(SpotWebConfig::default(), catalog.len());
+        let r = simulate_costs(&mut sw, &catalog, &trace, &options(48, 9));
+        (
+            r.total_cost(),
+            r.dropped_requests,
+            r.records.last().unwrap().fleet.clone(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn predictor_feeds_optimizer_shapes() {
+    // The facade exposes everything needed to hand-build the loop.
+    let catalog = Catalog::ec2_subset(9);
+    let mut cloud = CloudSim::new(catalog.clone(), 1, 500);
+    cloud.warm_up(48);
+    let trace = wikipedia_like(400, 2);
+
+    let mut predictor = SpotWebPredictor::new();
+    for v in &trace.values[..336] {
+        predictor.observe(*v);
+    }
+    let forecast_workload = predictor.predict(4);
+    assert_eq!(forecast_workload.len(), 4);
+
+    let tick = cloud.current();
+    let m = estimate_correlation(&cloud.history().failure_matrix(), 0.1);
+    let bundle = spotweb::core::ForecastBundle {
+        workload: forecast_workload,
+        prices: vec![tick.prices.clone(); 4],
+        failures: vec![tick.failure_probs.clone(); 4],
+    };
+    assert!(bundle.validate().is_ok());
+
+    let mut opt = spotweb::core::MpoOptimizer::new(SpotWebConfig::default());
+    let d = opt
+        .optimize(&catalog, &bundle, &m, &vec![0.0; catalog.len()])
+        .expect("solves");
+    assert!(d.solved);
+    assert_eq!(d.plan.len(), 4);
+    assert_eq!(d.first().len(), 9);
+    // Executable: convert to servers and check capacity covers λ̂.
+    let fleet = spotweb::core::to_server_counts(&catalog, d.first(), bundle.workload[0], 5e-3);
+    let cap = spotweb::core::total_capacity_rps(&catalog, &fleet);
+    assert!(cap >= bundle.workload[0] * 0.99);
+}
+
+#[test]
+fn lb_and_optimizer_agree_on_weights() {
+    // Portfolio → WRR weights → the balancer routes proportionally.
+    use spotweb::lb::{LoadBalancer, LoadBalancerConfig, RouteOutcome};
+
+    let catalog = Catalog::fig5_three_markets();
+    let counts = vec![1u32, 2, 0];
+    let weights = spotweb::core::allocation::wrr_weights(&catalog, &counts);
+
+    let mut lb = LoadBalancer::new(LoadBalancerConfig {
+        admission_control: false,
+        ..LoadBalancerConfig::default()
+    });
+    for (market, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            lb.add_backend_up(market, catalog.market(market).capacity_rps());
+        }
+    }
+    lb.update_portfolio_weights(&weights, 0.0);
+    let mut per_market = [0u32; 3];
+    for _ in 0..300 {
+        if let RouteOutcome::Routed(b) = lb.route(None, 0.0) {
+            per_market[lb.backends()[b].market] += 1;
+            lb.complete(b, None);
+        }
+    }
+    // 1920 : 640 capacity split = 3 : 1 of 300 = 225 : 75.
+    assert_eq!(per_market[0], 225);
+    assert_eq!(per_market[1], 75);
+    assert_eq!(per_market[2], 0);
+}
