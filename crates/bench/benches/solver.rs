@@ -12,12 +12,7 @@ use spotweb_solver::{AdmmSolver, QpProblem, Settings};
 /// random PSD quadratic and random linear cost.
 fn portfolio_qp(n: usize, seed: u64) -> QpProblem {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let b = Matrix::from_vec(
-        n,
-        n,
-        (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect(),
-    )
-    .unwrap();
+    let b = Matrix::from_vec(n, n, (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect()).unwrap();
     let mut p = b.matmul(&b.transpose()).unwrap();
     p.scale_mut(0.1 / n as f64);
     p.add_diag_mut(0.01);
@@ -62,8 +57,7 @@ fn bench_warm_start(c: &mut Criterion) {
     let sol = cold.solve();
     group.bench_function("warm_128", |b| {
         b.iter(|| {
-            let mut solver =
-                AdmmSolver::new(problem.clone(), Settings::default()).expect("setup");
+            let mut solver = AdmmSolver::new(problem.clone(), Settings::default()).expect("setup");
             std::hint::black_box(solver.solve_from(&sol.x, &sol.y).iterations)
         });
     });

@@ -12,8 +12,8 @@
 
 use serde::Serialize;
 use spotweb_core::evaluate::EvalOptions;
-use spotweb_core::{simulate_costs, SpotWebConfig, SpotWebPolicy};
 use spotweb_core::risk::herfindahl;
+use spotweb_core::{simulate_costs, SpotWebConfig, SpotWebPolicy};
 use spotweb_market::Catalog;
 use spotweb_predict::confidence::ConfidenceLevel;
 use spotweb_predict::SpotWebPredictor;
@@ -45,7 +45,12 @@ pub struct Ablation {
     pub rows: Vec<AblationRow>,
 }
 
-fn evaluate(config: SpotWebConfig, level: Option<ConfidenceLevel>, intervals: usize, seed: u64) -> AblationRow {
+fn evaluate(
+    config: SpotWebConfig,
+    level: Option<ConfidenceLevel>,
+    intervals: usize,
+    seed: u64,
+) -> AblationRow {
     let n = 9;
     let catalog = Catalog::ec2_subset(n);
     let trace = wikipedia_like(intervals + 16, seed).with_mean(20_000.0);
@@ -55,11 +60,9 @@ fn evaluate(config: SpotWebConfig, level: Option<ConfidenceLevel>, intervals: us
         ..EvalOptions::default()
     };
     let mut policy = match level {
-        Some(l) => SpotWebPolicy::with_predictor(
-            config,
-            n,
-            Box::new(SpotWebPredictor::with_level(l)),
-        ),
+        Some(l) => {
+            SpotWebPolicy::with_predictor(config, n, Box::new(SpotWebPredictor::with_level(l)))
+        }
         None => SpotWebPolicy::new(config, n),
     };
     let report = simulate_costs(&mut policy, &catalog, &trace, &options);

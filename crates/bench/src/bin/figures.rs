@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures <command> [--seed N] [--intervals N] [--workload wikipedia|vod]
-//!         [--summary]
+//!         [--scenario NAME] [--summary]
 //!
 //! commands:
 //!   fig3        workload traces (Fig. 3a/3b)
@@ -15,6 +15,8 @@
 //!   fig7b       optimizer scalability (Fig. 7b)
 //!   ablations   churn γ / risk α / CI padding / horizon sweeps
 //!   discussion  §7 provider portability (EC2 / GCP / Azure profiles)
+//!   chaos       replay named fault-injection scenarios
+//!               (--scenario NAME for one; all of them by default)
 //!   all         everything above
 //! ```
 //!
@@ -34,6 +36,7 @@ struct Args {
     seed: u64,
     intervals: usize,
     workload: Fig6bWorkload,
+    scenario: Option<String>,
     summary: bool,
 }
 
@@ -45,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         seed: DEFAULT_SEED,
         intervals: THREE_WEEKS_HOURS,
         workload: Fig6bWorkload::Wikipedia,
+        scenario: None,
         summary: false,
     };
     while let Some(flag) = args.next() {
@@ -69,6 +73,9 @@ fn parse_args() -> Result<Args, String> {
                     Some("vod") => Fig6bWorkload::Vod,
                     other => return Err(format!("bad workload {other:?}")),
                 };
+            }
+            "--scenario" => {
+                out.scenario = Some(args.next().ok_or("--scenario needs a value")?);
             }
             "--summary" => out.summary = true,
             other => return Err(format!("unknown flag {other}")),
@@ -279,16 +286,72 @@ fn run(args: &Args) -> Result<(), String> {
                 .join("\n");
             emit(&d, Some(s), args.summary);
         }
+        "chaos" => {
+            use spotweb_sim::{ChaosScenario, NAMED_SCENARIOS};
+            let names: Vec<&str> = match args.scenario.as_deref() {
+                Some(n) => {
+                    if !NAMED_SCENARIOS.contains(&n) {
+                        return Err(format!(
+                            "unknown chaos scenario {n:?}; known: {NAMED_SCENARIOS:?}"
+                        ));
+                    }
+                    vec![NAMED_SCENARIOS
+                        .iter()
+                        .copied()
+                        .find(|s| *s == n)
+                        .expect("validated above")]
+                }
+                None => NAMED_SCENARIOS.to_vec(),
+            };
+            for (i, name) in names.iter().enumerate() {
+                let mut scenario = ChaosScenario::named(name);
+                scenario.seed = seed;
+                let report = scenario.run();
+                if args.summary {
+                    println!(
+                        "Chaos {:<26} drop {:>6.2}%, p90 {:>5.0} ms, migrated {}, \
+                         faults {}, invariants {}",
+                        report.scenario,
+                        100.0 * report.drop_fraction,
+                        1000.0 * report.p90,
+                        report.migrated_sessions,
+                        report.faults_fired,
+                        if report.invariants_ok() {
+                            "ok"
+                        } else {
+                            "VIOLATED"
+                        }
+                    );
+                } else {
+                    if i > 0 {
+                        println!();
+                    }
+                    // ChaosReport serializes itself (byte-stable across
+                    // runs) — the determinism tests diff this output.
+                    println!("{}", report.to_json_pretty());
+                }
+            }
+        }
         "all" => {
             for cmd in [
-                "fig3", "fig4a", "fig4bcd", "fig5", "fig6a", "fig6b", "fig7a", "fig7b",
-                "ablations", "discussion",
+                "fig3",
+                "fig4a",
+                "fig4bcd",
+                "fig5",
+                "fig6a",
+                "fig6b",
+                "fig7a",
+                "fig7b",
+                "ablations",
+                "discussion",
+                "chaos",
             ] {
                 let sub = Args {
                     command: cmd.to_string(),
                     seed: args.seed,
                     intervals: args.intervals,
                     workload: args.workload,
+                    scenario: args.scenario.clone(),
                     summary: args.summary,
                 };
                 eprintln!("=== {cmd} ===");
@@ -304,7 +367,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--summary]");
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--summary]");
             return ExitCode::from(2);
         }
     };

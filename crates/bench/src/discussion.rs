@@ -9,9 +9,7 @@
 
 use serde::Serialize;
 use spotweb_core::evaluate::EvalOptions;
-use spotweb_core::{
-    simulate_costs, ExoSpherePolicy, OnDemandPolicy, SpotWebConfig, SpotWebPolicy,
-};
+use spotweb_core::{simulate_costs, ExoSpherePolicy, OnDemandPolicy, SpotWebConfig, SpotWebPolicy};
 use spotweb_market::{Catalog, Provider};
 use spotweb_workload::wikipedia_like;
 

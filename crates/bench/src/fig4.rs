@@ -179,12 +179,7 @@ mod tests {
         // Vanilla: drops massively in the failure minute; elevated
         // latency for what it serves.
         assert!(f.vanilla.drop_fraction > 0.03);
-        let failure_bucket = f
-            .vanilla
-            .buckets
-            .iter()
-            .max_by_key(|b| b.dropped)
-            .unwrap();
+        let failure_bucket = f.vanilla.buckets.iter().max_by_key(|b| b.dropped).unwrap();
         let served_frac = failure_bucket.count as f64
             / (failure_bucket.count as f64 + failure_bucket.dropped as f64);
         assert!(

@@ -8,9 +8,7 @@
 
 use serde::Serialize;
 use spotweb_core::evaluate::EvalOptions;
-use spotweb_core::{
-    simulate_costs, ConstantPortfolioPolicy, SpotWebConfig, SpotWebPolicy,
-};
+use spotweb_core::{simulate_costs, ConstantPortfolioPolicy, SpotWebConfig, SpotWebPolicy};
 use spotweb_market::{Catalog, CloudSim};
 use spotweb_workload::wikipedia_like;
 
@@ -78,8 +76,7 @@ pub fn run(intervals: usize, seed: u64) -> Fig5 {
         );
     }
 
-    let mut constant =
-        ConstantPortfolioPolicy::new(price_experiment_config(), catalog.len(), 2);
+    let mut constant = ConstantPortfolioPolicy::new(price_experiment_config(), catalog.len(), 2);
     let constant_report = simulate_costs(&mut constant, &catalog, &trace, &options);
     let mut mpo = SpotWebPolicy::new(price_experiment_config(), catalog.len());
     let mpo_report = simulate_costs(&mut mpo, &catalog, &trace, &options);

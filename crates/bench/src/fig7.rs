@@ -56,11 +56,8 @@ pub fn run_fig7a(error_levels: &[f64], intervals: usize, seed: u64) -> Fig7a {
         .iter()
         .map(|&e| {
             let predictor = NoisyPredictor::new(SpotWebPredictor::new(), e, seed ^ 0xE44);
-            let mut sw = SpotWebPolicy::with_predictor(
-                SpotWebConfig::default(),
-                n,
-                Box::new(predictor),
-            );
+            let mut sw =
+                SpotWebPolicy::with_predictor(SpotWebConfig::default(), n, Box::new(predictor));
             let cost = simulate_costs(&mut sw, &catalog, &trace, &options).total_cost();
             Fig7aRow {
                 error_level: e,
@@ -124,12 +121,7 @@ pub fn synthetic_catalog(n: usize) -> Catalog {
 
 /// Run Fig. 7(b): time `repeats` receding-horizon optimizations per
 /// (markets, horizon) cell, with realistic (warm-started) operation.
-pub fn run_fig7b(
-    market_counts: &[usize],
-    horizons: &[usize],
-    repeats: usize,
-    seed: u64,
-) -> Fig7b {
+pub fn run_fig7b(market_counts: &[usize], horizons: &[usize], repeats: usize, seed: u64) -> Fig7b {
     assert!(repeats >= 1);
     let mut cells = Vec::new();
     for &n in market_counts {
@@ -194,8 +186,16 @@ mod tests {
         // own predictor sits at 3–5% error).
         let f = run_fig7a(&[0.05, 0.2], 72, crate::DEFAULT_SEED);
         assert_eq!(f.rows.len(), 2);
-        assert!(f.rows[0].savings > 0.1, "low-error savings {}", f.rows[0].savings);
-        assert!(f.rows[1].savings > 0.0, "20% error savings {}", f.rows[1].savings);
+        assert!(
+            f.rows[0].savings > 0.1,
+            "low-error savings {}",
+            f.rows[0].savings
+        );
+        assert!(
+            f.rows[1].savings > 0.0,
+            "20% error savings {}",
+            f.rows[1].savings
+        );
         assert!(
             f.rows[0].savings > f.rows[1].savings,
             "savings must decay with error"

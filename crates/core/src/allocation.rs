@@ -50,11 +50,7 @@ pub fn total_capacity_rps(catalog: &Catalog, counts: &[u32]) -> f64 {
 /// Hourly cost ($) of a fleet at the given per-market prices.
 pub fn fleet_cost_per_hour(counts: &[u32], prices: &[f64]) -> f64 {
     assert_eq!(counts.len(), prices.len());
-    counts
-        .iter()
-        .zip(prices)
-        .map(|(&n, &p)| n as f64 * p)
-        .sum()
+    counts.iter().zip(prices).map(|(&n, &p)| n as f64 * p).sum()
 }
 
 /// Effective weighted-round-robin weights for a fleet: each market's
@@ -108,7 +104,10 @@ mod tests {
     #[test]
     fn zero_lambda_zero_servers() {
         let c = Catalog::fig5_three_markets();
-        assert_eq!(to_server_counts(&c, &[1.0, 1.0, 1.0], 0.0, 1e-3), vec![0, 0, 0]);
+        assert_eq!(
+            to_server_counts(&c, &[1.0, 1.0, 1.0], 0.0, 1e-3),
+            vec![0, 0, 0]
+        );
     }
 
     #[test]

@@ -159,7 +159,9 @@ pub fn simulate_costs(
     options: &EvalOptions,
 ) -> CostReport {
     assert!(trace.len() >= 2, "trace too short to evaluate");
-    let mut cloud = options.provider.cloud(catalog.clone(), options.seed, 24 * 60);
+    let mut cloud = options
+        .provider
+        .cloud(catalog.clone(), options.seed, 24 * 60);
     cloud.warm_up(options.cloud_warmup.max(4));
 
     let intervals = options.intervals.min(trace.len() - 1);
@@ -258,11 +260,9 @@ pub fn simulate_costs(
                 })
                 .expect("non-empty catalog");
             topup_servers = (unserved_rps / best.capacity_rps()).ceil() as u32;
-            let serving_secs =
-                (options.interval_secs - options.topup_reaction_secs).max(0.0);
-            topup_cost = topup_servers as f64
-                * best.instance.on_demand_price
-                * (serving_secs / 3600.0);
+            let serving_secs = (options.interval_secs - options.topup_reaction_secs).max(0.0);
+            topup_cost =
+                topup_servers as f64 * best.instance.on_demand_price * (serving_secs / 3600.0);
             // Only the reaction window still drops requests.
             let reaction_fraction =
                 (options.topup_reaction_secs / options.interval_secs).clamp(0.0, 1.0);

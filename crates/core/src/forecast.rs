@@ -63,7 +63,11 @@ impl ForecastBundle {
         failures: &[Box<dyn SeriesPredictor>],
         h: usize,
     ) -> ForecastBundle {
-        assert_eq!(prices.len(), failures.len(), "one predictor pair per market");
+        assert_eq!(
+            prices.len(),
+            failures.len(),
+            "one predictor pair per market"
+        );
         let n = prices.len();
         let lam = workload.predict(h);
         let per_market_prices: Vec<Vec<f64>> = prices.iter().map(|p| p.predict(h)).collect();
@@ -156,12 +160,7 @@ mod tests {
 
     #[test]
     fn oracle_clamps_past_end() {
-        let b = ForecastBundle::oracle(
-            &[10.0, 20.0],
-            &[vec![1.0], vec![2.0]],
-            &[0.0],
-            4,
-        );
+        let b = ForecastBundle::oracle(&[10.0, 20.0], &[vec![1.0], vec![2.0]], &[0.0], 4);
         assert_eq!(b.workload, vec![10.0, 20.0, 20.0, 20.0]);
         assert_eq!(b.prices[3], vec![2.0]);
     }

@@ -193,12 +193,8 @@ mod tests {
             churn_gamma: 0.0,
             ..SpotWebConfig::default()
         });
-        let d_low = low
-            .optimize(&catalog, &forecast, &cov, &[0.0; 3])
-            .unwrap();
-        let d_high = high
-            .optimize(&catalog, &forecast, &cov, &[0.0; 3])
-            .unwrap();
+        let d_low = low.optimize(&catalog, &forecast, &cov, &[0.0; 3]).unwrap();
+        let d_high = high.optimize(&catalog, &forecast, &cov, &[0.0; 3]).unwrap();
         assert!(
             herfindahl(d_high.first()) < herfindahl(d_low.first()),
             "high α must diversify: low {:?} high {:?}",

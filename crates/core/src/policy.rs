@@ -278,12 +278,7 @@ impl Policy for ConstantPortfolioPolicy {
         ) {
             Ok(decision) => {
                 self.last_allocation = decision.first().to_vec();
-                to_server_counts(
-                    catalog,
-                    decision.first(),
-                    lambda_next,
-                    self.min_allocation,
-                )
+                to_server_counts(catalog, decision.first(), lambda_next, self.min_allocation)
             }
             Err(_) => to_server_counts(
                 catalog,

@@ -48,9 +48,7 @@ impl PortfolioProblem {
         prev_allocation: &[f64],
         config: &SpotWebConfig,
     ) -> Result<PortfolioProblem> {
-        config
-            .validate()
-            .map_err(CoreError::Dimension)?;
+        config.validate().map_err(CoreError::Dimension)?;
         forecast.validate().map_err(CoreError::Dimension)?;
         let n = catalog.len();
         let h = config.horizon;
@@ -180,12 +178,7 @@ mod tests {
 
     fn setup() -> (Catalog, ForecastBundle, Matrix, SpotWebConfig) {
         let catalog = Catalog::fig5_three_markets();
-        let forecast = ForecastBundle::flat(
-            1000.0,
-            &[6.0, 1.0, 1.0],
-            &[0.04, 0.04, 0.04],
-            4,
-        );
+        let forecast = ForecastBundle::flat(1000.0, &[6.0, 1.0, 1.0], &[0.04, 0.04, 0.04], 4);
         let m = Matrix::identity(3).scaled(1e-4);
         (catalog, forecast, m, SpotWebConfig::default())
     }

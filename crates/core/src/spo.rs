@@ -11,7 +11,6 @@ use spotweb_linalg::Matrix;
 use spotweb_market::Catalog;
 use spotweb_solver::Settings;
 
-
 use crate::config::SpotWebConfig;
 use crate::forecast::ForecastBundle;
 use crate::mpo::{MpoOptimizer, PortfolioDecision};
@@ -108,7 +107,10 @@ mod tests {
             .optimize(&catalog, 1000.0, &[6.5, 0.4, 1.1], &[0.04; 3], &cov)
             .unwrap();
         let a = d.first();
-        assert!(a[1] > a[0] && a[1] > a[2], "myopically picks market 1: {a:?}");
+        assert!(
+            a[1] > a[0] && a[1] > a[2],
+            "myopically picks market 1: {a:?}"
+        );
     }
 
     #[test]

@@ -66,7 +66,12 @@ impl AdmissionController {
     }
 
     /// Decide for one arriving request.
-    pub fn decide(&self, in_flight: u64, capacity_rps: f64, service_secs: f64) -> AdmissionDecision {
+    pub fn decide(
+        &self,
+        in_flight: u64,
+        capacity_rps: f64,
+        service_secs: f64,
+    ) -> AdmissionDecision {
         if self.estimated_wait(in_flight, capacity_rps, service_secs) > self.max_delay_secs {
             AdmissionDecision::Drop
         } else {
@@ -112,8 +117,6 @@ mod tests {
         let strict = AdmissionController::new(0.5, 1.0);
         let loose = AdmissionController::new(1.0, 1.0);
         // Same load: the strict controller sees a longer wait.
-        assert!(
-            strict.estimated_wait(100, 100.0, 0.25) > loose.estimated_wait(100, 100.0, 0.25)
-        );
+        assert!(strict.estimated_wait(100, 100.0, 0.25) > loose.estimated_wait(100, 100.0, 0.25));
     }
 }

@@ -315,11 +315,7 @@ impl LoadBalancer {
     /// Used by the fallback tiers, whose members often carry zero
     /// portfolio weight (e.g. draining servers the optimizer already
     /// dropped) and therefore cannot go through the WRR.
-    fn pick_least_utilized(
-        &self,
-        now: f64,
-        eligible: impl Fn(usize) -> bool,
-    ) -> Option<BackendId> {
+    fn pick_least_utilized(&self, now: f64, eligible: impl Fn(usize) -> bool) -> Option<BackendId> {
         let service = self.config.service_secs;
         (0..self.backends.len())
             .filter(|&i| eligible(i))
@@ -416,8 +412,7 @@ impl LoadBalancer {
             .iter()
             .map(|&i| {
                 let b = &self.backends[i];
-                (b.effective_capacity(now) * service * Self::OVERLOAD_FACTOR
-                    - b.in_flight as f64)
+                (b.effective_capacity(now) * service * Self::OVERLOAD_FACTOR - b.in_flight as f64)
                     .max(0.0)
             })
             .sum();
@@ -456,6 +451,24 @@ impl LoadBalancer {
         lost.len()
     }
 
+    /// A flapped backend came back (fault-injection recovery): resume
+    /// serving with its configured WRR weight. The backend returns
+    /// empty — its former sessions were already re-pinned or lost when
+    /// it went down — and warms its cache again until
+    /// `now + warmup_secs`.
+    pub fn restore_backend(&mut self, backend: BackendId, now: f64, warmup_secs: f64) {
+        let b = &mut self.backends[backend];
+        assert!(
+            b.state == BackendState::Down,
+            "only a down backend can be restored"
+        );
+        b.state = BackendState::Up;
+        b.in_flight = 0;
+        b.warm_until = now + warmup_secs;
+        let w = b.weight;
+        self.wrr.set_weight(backend, w);
+    }
+
     /// Gracefully remove a backend on scale-down: drain with an
     /// effectively infinite deadline (it finishes its work, takes no
     /// new requests) and migrate its sessions.
@@ -469,9 +482,7 @@ impl LoadBalancer {
             BackendState::Starting { ready_at } => now >= ready_at,
             // Sticky traffic may continue to a draining backend only in
             // vanilla mode (transiency-aware re-pins immediately).
-            BackendState::Draining { deadline } => {
-                !self.config.transiency_aware && now < deadline
-            }
+            BackendState::Draining { deadline } => !self.config.transiency_aware && now < deadline,
             BackendState::Down => false,
         }
     }
@@ -651,5 +662,33 @@ mod tests {
         let report = lb.decommission(a, 1.0);
         assert_eq!(report.stayed_sessions, 0);
         assert_eq!(lb.sessions().count_on(b), 2);
+    }
+
+    #[test]
+    fn restored_backend_serves_again() {
+        let mut lb = aware();
+        let a = lb.add_backend_up(0, 100.0);
+        let b = lb.add_backend_up(0, 100.0);
+        lb.server_died(a, 10.0);
+        // While down, everything lands on the survivor.
+        for _ in 0..10 {
+            assert_eq!(lb.route(None, 11.0), RouteOutcome::Routed(b));
+            lb.complete(b, None);
+        }
+        lb.restore_backend(a, 20.0, 30.0);
+        assert!(lb.backends()[a].accepts_new(20.0));
+        assert_eq!(lb.backends()[a].in_flight, 0);
+        // Warm-up applies again after the flap.
+        assert!(lb.backends()[a].effective_capacity(25.0) < 100.0);
+        assert_eq!(lb.backends()[a].effective_capacity(51.0), 100.0);
+        // WRR weight is live again: both backends get traffic.
+        let mut counts = [0u32; 2];
+        for _ in 0..40 {
+            if let RouteOutcome::Routed(x) = lb.route(None, 60.0) {
+                counts[x] += 1;
+                lb.complete(x, None);
+            }
+        }
+        assert!(counts[0] > 0 && counts[1] > 0, "counts {counts:?}");
     }
 }

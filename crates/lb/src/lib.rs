@@ -38,7 +38,7 @@ pub mod wrr;
 
 pub use admission::AdmissionController;
 pub use backend::{Backend, BackendId, BackendState};
-pub use monitor::{MonitorSnapshot, MonitorWindow};
 pub use balancer::{LoadBalancer, LoadBalancerConfig, RouteOutcome};
+pub use monitor::{MonitorSnapshot, MonitorWindow};
 pub use session::SessionTable;
 pub use wrr::SmoothWrr;

@@ -101,7 +101,11 @@ impl MonitorWindow {
             window_secs: covered,
             arrival_rate: total / covered,
             throughput: served / covered,
-            drop_rate: if total > 0.0 { (total - served) / total } else { 0.0 },
+            drop_rate: if total > 0.0 {
+                (total - served) / total
+            } else {
+                0.0
+            },
             mean_latency: spotweb_linalg_mean(&latencies),
             p50_latency: percentile(&latencies, 50.0),
             p99_latency: percentile(&latencies, 99.0),
@@ -146,7 +150,11 @@ mod tests {
             m.record_served(k as f64 * 0.5, 0.1); // 2 req/s for 10 s
         }
         let s = m.snapshot(9.5);
-        assert!((s.arrival_rate - 2.0).abs() < 0.15, "rate {}", s.arrival_rate);
+        assert!(
+            (s.arrival_rate - 2.0).abs() < 0.15,
+            "rate {}",
+            s.arrival_rate
+        );
         assert_eq!(s.drop_rate, 0.0);
         assert!((s.mean_latency - 0.1).abs() < 1e-12);
     }

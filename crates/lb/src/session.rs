@@ -66,10 +66,7 @@ impl SessionTable {
 
     /// Sessions currently pinned to `backend`.
     pub fn sessions_on(&self, backend: BackendId) -> Vec<u64> {
-        self.per_backend
-            .get(&backend)
-            .cloned()
-            .unwrap_or_default()
+        self.per_backend.get(&backend).cloned().unwrap_or_default()
     }
 
     /// Number of sessions pinned to `backend`.

@@ -111,6 +111,47 @@ proptest! {
         prop_assert_eq!(lb.stats().sessions_lost, 0);
     }
 
+    /// Once a backend's revocation warning fires, no session — sticky
+    /// or new — is ever routed to it again while the survivors have
+    /// headroom: not during the drain, not at the deadline, not after
+    /// the death.
+    #[test]
+    fn no_session_routes_to_revoked_backend(
+        caps in prop::collection::vec(100.0f64..400.0, 2..5),
+        sessions in 1u64..40,
+        victim_idx in 0usize..4,
+    ) {
+        let victim = victim_idx % caps.len();
+        let mut lb = balancer(&caps, true, false);
+        // Pin every session somewhere (some land on the victim).
+        for s in 0..sessions {
+            if let RouteOutcome::Routed(b) = lb.route(Some(s), 0.0) {
+                lb.complete(b, Some(s));
+            }
+        }
+        let warning_at = 5.0;
+        let warning_secs = 60.0;
+        lb.revocation_warning(victim, warning_at, warning_secs);
+        let deadline = warning_at + warning_secs;
+        let mut died = false;
+        for k in 0..240u64 {
+            let now = warning_at + 0.5 * (k as f64 + 1.0);
+            if !died && now >= deadline {
+                lb.server_died(victim, deadline);
+                died = true;
+            }
+            lb.tick(now);
+            let s = k % sessions;
+            if let RouteOutcome::Routed(b) = lb.route(Some(s), now) {
+                prop_assert_ne!(
+                    b, victim,
+                    "session {} routed to revoked backend at t={}", s, now
+                );
+                lb.complete(b, Some(s));
+            }
+        }
+    }
+
     /// The vanilla balancer loses exactly the sessions pinned to the
     /// dead backend.
     #[test]

@@ -243,17 +243,14 @@ mod tests {
     fn rejects_bad_shapes() {
         let d = spd_block(0.0, 3);
         assert!(BlockTridiagCholesky::factor(&[], &[]).is_err());
-        assert!(BlockTridiagCholesky::factor(
-            std::slice::from_ref(&d),
-            std::slice::from_ref(&d)
-        )
-        .is_err());
+        assert!(
+            BlockTridiagCholesky::factor(std::slice::from_ref(&d), std::slice::from_ref(&d))
+                .is_err()
+        );
         let small = spd_block(0.0, 2);
-        assert!(BlockTridiagCholesky::factor(
-            &[d.clone(), small],
-            std::slice::from_ref(&d)
-        )
-        .is_err());
+        assert!(
+            BlockTridiagCholesky::factor(&[d.clone(), small], std::slice::from_ref(&d)).is_err()
+        );
     }
 
     #[test]

@@ -134,11 +134,7 @@ mod tests {
     #[test]
     fn factors_quasi_definite_kkt() {
         // [[P, Aᵀ], [A, -I]] with P = 2I, A = [1 1].
-        let kkt = Matrix::from_rows(&[
-            &[2.0, 0.0, 1.0],
-            &[0.0, 2.0, 1.0],
-            &[1.0, 1.0, -1.0],
-        ]);
+        let kkt = Matrix::from_rows(&[&[2.0, 0.0, 1.0], &[0.0, 2.0, 1.0], &[1.0, 1.0, -1.0]]);
         let f = Ldlt::factor(&kkt).unwrap();
         assert_eq!(f.negative_pivots(), 1);
         let b = vec![1.0, 2.0, 0.5];
@@ -151,11 +147,7 @@ mod tests {
 
     #[test]
     fn reconstruction() {
-        let a = Matrix::from_rows(&[
-            &[3.0, 1.0, 0.5],
-            &[1.0, -2.0, 0.2],
-            &[0.5, 0.2, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[&[3.0, 1.0, 0.5], &[1.0, -2.0, 0.2], &[0.5, 0.2, 4.0]]);
         let f = Ldlt::factor(&a).unwrap();
         let ld = f.l().matmul(&Matrix::from_diag(f.d())).unwrap();
         let rec = ld.matmul(&f.l().transpose()).unwrap();
@@ -169,6 +161,9 @@ mod tests {
     #[test]
     fn rejects_singular() {
         let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
-        assert!(matches!(Ldlt::factor(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            Ldlt::factor(&a),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 }

@@ -149,12 +149,7 @@ mod tests {
     #[test]
     fn overdetermined_least_squares() {
         // Fit y = 2x + 1 exactly from 4 points: residual must be ~0.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
         let b = [1.0, 3.0, 5.0, 7.0];
         let x = Qr::factor(&a).unwrap().solve_lstsq(&b).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-10);

@@ -117,11 +117,7 @@ mod tests {
     use super::*;
 
     fn sample() -> (Matrix, CsrMatrix) {
-        let d = Matrix::from_rows(&[
-            &[1.0, 0.0, 2.0],
-            &[0.0, 0.0, 0.0],
-            &[0.0, 3.0, 0.0],
-        ]);
+        let d = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0], &[0.0, 3.0, 0.0]]);
         let s = CsrMatrix::from_dense(&d, 0.0);
         (d, s)
     }

@@ -109,7 +109,11 @@ impl Catalog {
     /// `revocation_probs` gives the per-type baseline revocation
     /// probability (used for the spot market); it must match
     /// `types.len()`.
-    pub fn new(types: Vec<InstanceType>, revocation_probs: Vec<f64>, include_on_demand: bool) -> Self {
+    pub fn new(
+        types: Vec<InstanceType>,
+        revocation_probs: Vec<f64>,
+        include_on_demand: bool,
+    ) -> Self {
         assert_eq!(
             types.len(),
             revocation_probs.len(),

@@ -119,6 +119,36 @@ impl CloudSim {
     pub fn per_request_price(&self, id: usize) -> f64 {
         self.prices.price(id) / self.catalog.market(id).capacity_rps()
     }
+
+    /// Fault-injection hook: spike (or crash) spot prices in `market`
+    /// (all spot markets when `None`) by `multiplier`, pinning the
+    /// injected regime for `hold_steps` intervals. Delegates to
+    /// [`SpotPriceProcess::inject_shock`]; a pinned surge also raises
+    /// revocation pressure through the normal coupling in
+    /// [`CloudSim::step`].
+    pub fn inject_price_shock(&mut self, market: Option<usize>, multiplier: f64, hold_steps: u32) {
+        self.prices.inject_shock(market, multiplier, hold_steps);
+    }
+
+    /// Fault-injection hook: override the provider's revocation warning
+    /// window (e.g. zero for no-warning chaos scenarios). Applies to
+    /// every revocation issued from now on.
+    pub fn set_warning_secs(&mut self, secs: f64) {
+        assert!(secs.is_finite() && secs >= 0.0, "warning must be >= 0");
+        self.revocations.warning_secs = secs;
+    }
+
+    /// Fault-injection hook: force-revoke every server the fleet holds
+    /// in each of `markets` (a correlated capacity-loss event),
+    /// bypassing the stochastic sampler. Returns one event per doomed
+    /// server, exactly like [`CloudSim::sample_revocations`].
+    pub fn force_revocations(&mut self, markets: &[usize], fleet: &[u32]) -> Vec<RevocationEvent> {
+        let mut events = Vec::new();
+        for &m in markets {
+            events.extend(self.revocations.induce(m, fleet));
+        }
+        events
+    }
 }
 
 #[cfg(test)]
@@ -161,5 +191,47 @@ mod tests {
         c.warm_up(5);
         let fleet = vec![0u32; 36];
         assert!(c.sample_revocations(&fleet).is_empty());
+    }
+
+    #[test]
+    fn forced_revocations_hit_every_server_in_the_markets() {
+        let mut c = CloudSim::new(Catalog::fig5_three_markets(), 4, 10);
+        c.warm_up(5);
+        let fleet = vec![2u32, 3, 1];
+        let events = c.force_revocations(&[0, 2], &fleet);
+        assert_eq!(events.len(), 3, "2 servers in market 0 + 1 in market 2");
+        assert!(events.iter().all(|e| e.market == 0 || e.market == 2));
+    }
+
+    #[test]
+    fn warning_override_applies() {
+        let mut c = CloudSim::new(Catalog::fig5_three_markets(), 4, 10);
+        assert!(c.warning_secs() > 0.0);
+        c.set_warning_secs(0.0);
+        assert_eq!(c.warning_secs(), 0.0);
+    }
+
+    #[test]
+    fn price_shock_raises_failure_pressure() {
+        // A held surge must feed the revocation model: failure
+        // probabilities in the shocked market rise above the unshocked
+        // twin run.
+        let run = |shock: bool| {
+            let mut c = CloudSim::new(Catalog::fig5_three_markets(), 8, 50);
+            c.warm_up(10);
+            if shock {
+                c.inject_price_shock(Some(0), 3.0, 8);
+            }
+            let mut worst: f64 = 0.0;
+            for _ in 0..8 {
+                let tick = c.step();
+                worst = worst.max(tick.failure_probs[0]);
+            }
+            worst
+        };
+        assert!(
+            run(true) > run(false),
+            "surge pressure must raise revocation probability"
+        );
     }
 }

@@ -110,7 +110,9 @@ mod tests {
 
     #[test]
     fn correlated_series_have_positive_cov() {
-        let a: Vec<f64> = (0..50).map(|i| 0.05 + 0.01 * (i as f64 * 0.3).sin()).collect();
+        let a: Vec<f64> = (0..50)
+            .map(|i| 0.05 + 0.01 * (i as f64 * 0.3).sin())
+            .collect();
         let b: Vec<f64> = a.iter().map(|v| v * 1.5 + 0.01).collect();
         let m = estimate_covariance(&[a, b], 0.1);
         assert!(m[(0, 1)] > 0.0);

@@ -22,7 +22,9 @@ impl MarketHistory {
     pub fn new(markets: usize, capacity: usize) -> Self {
         assert!(capacity > 0, "history capacity must be positive");
         MarketHistory {
-            prices: (0..markets).map(|_| VecDeque::with_capacity(capacity)).collect(),
+            prices: (0..markets)
+                .map(|_| VecDeque::with_capacity(capacity))
+                .collect(),
             failure_probs: (0..markets)
                 .map(|_| VecDeque::with_capacity(capacity))
                 .collect(),
@@ -51,7 +53,11 @@ impl MarketHistory {
     /// Panics if slice lengths don't match the market count.
     pub fn record(&mut self, prices: &[f64], failure_probs: &[f64]) {
         assert_eq!(prices.len(), self.markets(), "price per market");
-        assert_eq!(failure_probs.len(), self.markets(), "failure prob per market");
+        assert_eq!(
+            failure_probs.len(),
+            self.markets(),
+            "failure prob per market"
+        );
         for (q, &v) in self.prices.iter_mut().zip(prices) {
             if q.len() == self.capacity {
                 q.pop_front();
@@ -89,7 +95,9 @@ impl MarketHistory {
     /// All failure series as rows (market-major) — the covariance
     /// estimator's input layout.
     pub fn failure_matrix(&self) -> Vec<Vec<f64>> {
-        (0..self.markets()).map(|i| self.failure_series(i)).collect()
+        (0..self.markets())
+            .map(|i| self.failure_series(i))
+            .collect()
     }
 }
 

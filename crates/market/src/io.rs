@@ -167,7 +167,10 @@ mod tests {
     #[test]
     fn rejects_empty() {
         let data = "step,a\n";
-        assert!(matches!(read_price_csv(data.as_bytes()), Err(PriceIoError::Empty)));
+        assert!(matches!(
+            read_price_csv(data.as_bytes()),
+            Err(PriceIoError::Empty)
+        ));
     }
 
     #[test]

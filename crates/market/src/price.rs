@@ -82,6 +82,10 @@ pub struct SpotPriceProcess {
     /// Replay mode: recorded per-step prices override the stochastic
     /// model (clamped at the last row once the recording runs out).
     replay: Option<ReplayState>,
+    /// Fault-injection: while `surge_hold[i] > 0`, market `i`'s surge
+    /// regime is pinned (no stochastic transition) and the counter
+    /// decays one per step. See [`SpotPriceProcess::inject_shock`].
+    surge_hold: Vec<u32>,
 }
 
 /// Cursor over a recorded price matrix.
@@ -134,6 +138,7 @@ impl SpotPriceProcess {
                 }
             })
             .collect();
+        let n = catalog.len();
         SpotPriceProcess {
             states,
             family_of,
@@ -141,6 +146,7 @@ impl SpotPriceProcess {
             rng: ChaCha8Rng::seed_from_u64(seed),
             family_weight: 0.4,
             replay: None,
+            surge_hold: vec![0; n],
         }
     }
 
@@ -183,6 +189,42 @@ impl SpotPriceProcess {
         self.states.is_empty()
     }
 
+    /// Fault-injection hook: an exogenous demand spike (or crash) in
+    /// `market` — all spot markets when `None`. The current discount is
+    /// multiplied by `multiplier` (clamped to the usual
+    /// `[0.1·base, 1.0]` band, so spot still never exceeds on-demand)
+    /// and the regime set at injection time (surge when
+    /// `multiplier > 1`) is *pinned* for the next `hold_steps` advances
+    /// before the stochastic transitions resume. A pinned surge also
+    /// feeds the revocation model's pressure term through the normal
+    /// [`SpotPriceProcess::is_surging`] coupling. No-op on markets in
+    /// replay mode (recorded rows are authoritative there).
+    pub fn inject_shock(&mut self, market: Option<usize>, multiplier: f64, hold_steps: u32) {
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "shock multiplier must be positive"
+        );
+        if self.replay.is_some() {
+            return;
+        }
+        let ids: Vec<usize> = match market {
+            Some(i) => vec![i],
+            None => (0..self.len()).collect(),
+        };
+        for i in ids {
+            let st = &mut self.states[i];
+            if !st.is_spot {
+                continue;
+            }
+            let lo = (0.1 * st.params.base_discount).ln();
+            st.log_d = (st.log_d + multiplier.ln()).clamp(lo, 0.0);
+            if multiplier > 1.0 {
+                st.surging = true;
+            }
+            self.surge_hold[i] = hold_steps;
+        }
+    }
+
     /// Advance one decision interval.
     pub fn step(&mut self) {
         if let Some(replay) = &mut self.replay {
@@ -202,8 +244,10 @@ impl SpotPriceProcess {
                 continue;
             }
             let p = &st.params;
-            // Regime transition.
-            if st.surging {
+            // Regime transition — pinned while a fault injection holds.
+            if self.surge_hold[i] > 0 {
+                self.surge_hold[i] -= 1;
+            } else if st.surging {
                 if self.rng.gen::<f64>() < p.surge_exit {
                     st.surging = false;
                 }
@@ -350,6 +394,56 @@ mod tests {
             argmins.insert(argmin);
         }
         assert!(argmins.len() >= 2, "cheapest market never changed");
+    }
+
+    #[test]
+    fn injected_shock_spikes_then_reverts() {
+        let c = Catalog::fig5_three_markets();
+        let mut p = SpotPriceProcess::new(&c, 21);
+        let before = p.price(0);
+        p.inject_shock(Some(0), 3.0, 4);
+        let shocked = p.price(0);
+        assert!(
+            shocked > before * 1.5,
+            "shock should spike the price: {before} -> {shocked}"
+        );
+        assert!(p.is_surging(0), "shock pins the surge regime");
+        let od = c.market(0).instance.on_demand_price;
+        assert!(shocked <= od + 1e-12, "shock still capped at on-demand");
+        // Other markets untouched at injection time.
+        let other_before = p.price(1);
+        assert!((p.price(1) - other_before).abs() < 1e-12);
+        // After the hold expires the regime unpins and mean reversion
+        // pulls the discount back toward base.
+        let mut post = Vec::new();
+        for _ in 0..120 {
+            p.step();
+            post.push(p.price(0));
+        }
+        let tail_mean: f64 = post[60..].iter().sum::<f64>() / 60.0;
+        assert!(
+            tail_mean < shocked,
+            "price must revert after the hold: tail {tail_mean} vs shocked {shocked}"
+        );
+    }
+
+    #[test]
+    fn shock_is_deterministic() {
+        let c = Catalog::fig5_three_markets();
+        let mut a = SpotPriceProcess::new(&c, 13);
+        let mut b = SpotPriceProcess::new(&c, 13);
+        a.inject_shock(None, 2.5, 6);
+        b.inject_shock(None, 2.5, 6);
+        assert_eq!(a.generate(50), b.generate(50));
+    }
+
+    #[test]
+    fn shock_noop_in_replay_mode() {
+        let c = Catalog::fig5_three_markets();
+        let rows = vec![vec![0.1; c.len()]; 3];
+        let mut p = SpotPriceProcess::replay(&c, rows);
+        p.inject_shock(None, 5.0, 3);
+        assert_eq!(p.price(0), 0.1, "replay rows stay authoritative");
     }
 
     #[test]

@@ -83,9 +83,7 @@ impl Provider {
     /// the catalog's per-market values.
     pub fn revocation_override(self, market_index: usize) -> Option<f64> {
         match self {
-            Provider::GcpPreemptible => {
-                Some(0.05 + 0.10 * ((market_index % 5) as f64 / 4.0))
-            }
+            Provider::GcpPreemptible => Some(0.05 + 0.10 * ((market_index % 5) as f64 / 4.0)),
             _ => None,
         }
     }
@@ -117,8 +115,7 @@ impl Provider {
             seed.wrapping_mul(2).wrapping_add(1),
             move |_| params.clone(),
         );
-        let mut revocations =
-            RevocationModel::new(&catalog, seed.wrapping_mul(2).wrapping_add(2));
+        let mut revocations = RevocationModel::new(&catalog, seed.wrapping_mul(2).wrapping_add(2));
         revocations.warning_secs = self.warning_secs();
         CloudSim::from_parts(catalog, prices, revocations, history_len)
     }
@@ -131,8 +128,7 @@ mod tests {
 
     #[test]
     fn gcp_prices_are_constant() {
-        let mut cloud =
-            Provider::GcpPreemptible.cloud(Catalog::fig5_three_markets(), 1, 16);
+        let mut cloud = Provider::GcpPreemptible.cloud(Catalog::fig5_three_markets(), 1, 16);
         cloud.step();
         let first = cloud.current().prices;
         cloud.warm_up(50);
@@ -167,10 +163,7 @@ mod tests {
     fn provider_metadata() {
         assert_eq!(Provider::Ec2Spot.warning_secs(), 120.0);
         assert_eq!(Provider::GcpPreemptible.warning_secs(), 30.0);
-        assert_eq!(
-            Provider::GcpPreemptible.max_lifetime_secs(),
-            Some(86_400.0)
-        );
+        assert_eq!(Provider::GcpPreemptible.max_lifetime_secs(), Some(86_400.0));
         assert_eq!(Provider::Ec2Spot.max_lifetime_secs(), None);
         assert_eq!(Provider::AzureLowPriority.billing(), BillingModel::Hourly);
     }

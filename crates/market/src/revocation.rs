@@ -220,7 +220,10 @@ mod tests {
             max_p = max_p.max(m.probability(0));
         }
         let base = c.market(0).base_revocation_prob;
-        assert!(min_p >= base * 0.85 && max_p <= base * 1.15, "wiggle too large");
+        assert!(
+            min_p >= base * 0.85 && max_p <= base * 1.15,
+            "wiggle too large"
+        );
     }
 
     #[test]

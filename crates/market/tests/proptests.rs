@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use spotweb_linalg::Cholesky;
-use spotweb_market::{
-    estimate_correlation, estimate_covariance, Catalog, CloudSim, Provider,
-};
+use spotweb_market::{estimate_correlation, estimate_covariance, Catalog, CloudSim, Provider};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

@@ -39,7 +39,10 @@ impl AliEldinPredictor {
     /// Point forecast `h` steps ahead (h ≥ 1): spline profile plus the
     /// AR-forecast residual.
     fn point(&self, h: usize) -> f64 {
-        match self.spline.fitted_at(self.spline.next_hour() + (h - 1) as f64) {
+        match self
+            .spline
+            .fitted_at(self.spline.next_hour() + (h - 1) as f64)
+        {
             Some(base) => {
                 let residuals = self.spline.residuals();
                 let ar = Ar1::fit(&residuals);

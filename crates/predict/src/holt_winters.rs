@@ -77,7 +77,8 @@ impl SeriesPredictor for HoltWintersPredictor {
         let phase = self.phase();
         let seasonal = self.seasonal[phase];
         let prev_level = self.level;
-        self.level = self.alpha * (value - seasonal) + (1.0 - self.alpha) * (self.level + self.trend);
+        self.level =
+            self.alpha * (value - seasonal) + (1.0 - self.alpha) * (self.level + self.trend);
         self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
         self.seasonal[phase] = self.gamma * (value - self.level) + (1.0 - self.gamma) * seasonal;
         self.count += 1;

@@ -180,7 +180,10 @@ mod tests {
             base.under_fraction
         );
         assert!(sw.max_under < base.max_under + 1e-9);
-        assert!(sw.mean_over > base.mean_over, "CI padding raises over-provisioning");
+        assert!(
+            sw.mean_over > base.mean_over,
+            "CI padding raises over-provisioning"
+        );
     }
 
     #[test]

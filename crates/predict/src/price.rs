@@ -117,8 +117,7 @@ impl SeriesPredictor for OraclePricePredictor {
     fn observe(&mut self, value: f64) {
         debug_assert!(
             self.cursor >= self.series.len()
-                || (self.series[self.cursor] - value).abs()
-                    <= 1e-9 * (1.0 + value.abs()),
+                || (self.series[self.cursor] - value).abs() <= 1e-9 * (1.0 + value.abs()),
             "oracle fed a value that contradicts its series"
         );
         let _ = value;

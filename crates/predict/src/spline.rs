@@ -159,8 +159,7 @@ impl SplineModel {
             return;
         }
         let n = self.window.len();
-        self.t_center =
-            self.window.iter().map(|(t, _)| *t).sum::<f64>() / n as f64;
+        self.t_center = self.window.iter().map(|(t, _)| *t).sum::<f64>() / n as f64;
         let mut design = Matrix::zeros(n, p);
         let mut y = Vec::with_capacity(n);
         for (r, (t, v)) in self.window.iter().enumerate() {
@@ -271,7 +270,10 @@ mod tests {
         }
         let pred = m.fitted_at(400.0).unwrap();
         let truth = 1000.0 + 2.0 * 400.0;
-        assert!((pred - truth).abs() < 0.05 * truth, "pred {pred} truth {truth}");
+        assert!(
+            (pred - truth).abs() < 0.05 * truth,
+            "pred {pred} truth {truth}"
+        );
     }
 
     #[test]

@@ -39,6 +39,17 @@ pub enum Event {
         /// Backend coming online.
         backend: usize,
     },
+    /// A compiled fault fires (index into a chaos timeline; see
+    /// [`crate::faults`]).
+    FaultTrigger {
+        /// Position of the injection in the compiled fault timeline.
+        fault: usize,
+    },
+    /// A flapped backend comes back up (fault-injection recovery).
+    BackendRestore {
+        /// Backend returning to service.
+        backend: usize,
+    },
 }
 
 /// A scheduled event; ordered by time with a sequence tiebreaker so

@@ -22,17 +22,27 @@
 //!   correlated revocation at t ≈ 3 min, reactive replacement within
 //!   the warning window) for both the transiency-aware and vanilla
 //!   balancers.
+//! * [`faults`] — the deterministic fault-injection harness:
+//!   seed-compiled [`faults::FaultPlan`]s (correlated revocations,
+//!   zero-warning kills, backend flaps, price shocks, startup/warmup
+//!   stalls), the invariant-audited [`faults::ChaosScenario`] runner,
+//!   and the named chaos scenarios the regression suite replays.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod runner;
 pub mod scenario;
 pub mod service;
 
 pub use engine::{Event, EventQueue};
+pub use faults::{
+    ChaosReport, ChaosScenario, FaultKind, FaultPlan, FaultSpec, InvariantChecker, RandomFault,
+    Replacement, NAMED_SCENARIOS,
+};
 pub use metrics::{BucketStats, LatencyRecorder};
 pub use runner::{run_full_stack, FleetPolicy, RunnerConfig, RunnerReport};
 pub use scenario::{FailoverReport, FailoverScenario};

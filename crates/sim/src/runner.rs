@@ -28,6 +28,7 @@ use spotweb_market::billing::{BillingModel, CostMeter};
 use spotweb_market::CloudSim;
 use spotweb_workload::Trace;
 
+use crate::faults::{FaultKind, FaultPlan, InvariantChecker};
 use crate::metrics::LatencyRecorder;
 use crate::service::ServiceModel;
 
@@ -73,6 +74,15 @@ pub struct RunnerConfig {
     pub max_lifetime_secs: Option<f64>,
     /// RNG seed (arrivals and revocation sampling share sub-streams).
     pub seed: u64,
+    /// Optional fault plan (chaos testing). Compiled deterministically
+    /// from `seed` at run start. Interval-scoped faults — price
+    /// shocks, correlated revocations, startup/warmup stalls — apply
+    /// at the start of the interval containing their firing time (the
+    /// market itself only evolves per interval); backend flaps fire at
+    /// their exact times inside the request loop. `BackendFlap::target`
+    /// is interpreted as a *market* index here: the first alive server
+    /// of that market flaps.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RunnerConfig {
@@ -87,6 +97,7 @@ impl Default for RunnerConfig {
             sessions: 2000,
             max_lifetime_secs: None,
             seed: 42,
+            faults: None,
         }
     }
 }
@@ -118,6 +129,11 @@ pub struct RunnerReport {
     pub fleet_sizes: Vec<u32>,
     /// Per-interval latency/drop stats.
     pub buckets: Vec<crate::metrics::BucketStats>,
+    /// Compiled faults that fired (0 without a plan).
+    pub faults_fired: usize,
+    /// Invariant violations the checker observed (empty on a healthy
+    /// run; see [`InvariantChecker`]).
+    pub invariant_violations: Vec<String>,
 }
 
 /// Run `policy` against `cloud` dynamics and `trace` arrivals.
@@ -134,11 +150,31 @@ pub fn run_full_stack(
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let mut lb = LoadBalancer::new(config.lb.clone());
     let mut services: Vec<ServiceModel> = Vec::new();
+    // Currently-dead-since time per backend (billing/liveness; cleared
+    // when a flapped backend restores).
     let mut death_time: Vec<Option<f64>> = Vec::new();
+    // Latest death ever per backend (never cleared; classifies
+    // in-flight work that spans a death even across a restore).
+    let mut last_death: Vec<Option<f64>> = Vec::new();
     // Backends per market currently alive (ids into lb).
     let mut alive: Vec<Vec<usize>> = vec![Vec::new(); n_markets];
     let horizon = config.interval_secs * config.intervals as f64;
     let mut recorder = LatencyRecorder::new(config.interval_secs, horizon);
+    // Chaos: the plan compiles once, up front, from the run seed.
+    let timeline = config
+        .faults
+        .as_ref()
+        .map(|p| p.compile(config.seed, horizon))
+        .unwrap_or_default();
+    let mut fault_cursor = 0usize;
+    let mut faults_fired = 0usize;
+    let mut extra_startup = 0.0f64;
+    let mut extra_warmup = 0.0f64;
+    // In-flight flaps: (fire_time, market, down_secs) and scheduled
+    // recoveries (restore_time, backend, market).
+    let mut pending_flaps: Vec<(f64, usize, f64)> = Vec::new();
+    let mut pending_restores: Vec<(f64, usize, usize)> = Vec::new();
+    let mut checker = InvariantChecker::new();
     let mut meter = CostMeter::new(n_markets, BillingModel::PerSecond);
     let mut revocations = 0u32;
     let mut relinquished = 0u32;
@@ -159,9 +195,10 @@ pub fn run_full_stack(
         upto: f64,
         completions: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>>,
         lb: &mut LoadBalancer,
-        death_time: &[Option<f64>],
+        last_death: &[Option<f64>],
         recorder: &mut LatencyRecorder,
         monitor: &mut MonitorWindow,
+        checker: &mut InvariantChecker,
     ) {
         while let Some(&std::cmp::Reverse((done_bits, b, arr_bits))) = completions.peek() {
             let done = f64::from_bits(done_bits);
@@ -170,15 +207,19 @@ pub fn run_full_stack(
             }
             completions.pop();
             let arrived = f64::from_bits(arr_bits);
-            match death_time[b] {
-                Some(d) if d < done => {
+            match last_death[b] {
+                // The server died while this request was in flight (a
+                // later restore does not save it).
+                Some(d) if d < done && d >= arrived => {
                     recorder.record_drop(arrived);
                     monitor.record_dropped(arrived);
+                    checker.on_dropped_in_flight();
                 }
                 _ => {
                     recorder.record(arrived, done - arrived);
                     monitor.record_served(arrived, done - arrived);
                     lb.complete(b, None);
+                    checker.on_served();
                 }
             }
         }
@@ -186,6 +227,47 @@ pub fn run_full_stack(
 
     for interval in 0..config.intervals {
         let t0 = interval as f64 * config.interval_secs;
+        let t_end = t0 + config.interval_secs;
+
+        // Apply this interval's compiled faults. Price shocks land
+        // before the market steps so the tick already quotes them;
+        // forced revocations queue up for the revocation section below
+        // (they need the reconciled fleet); flaps fire at their exact
+        // times inside the request loop.
+        let mut forced_revocations: Vec<(Vec<usize>, Option<f64>)> = Vec::new();
+        while fault_cursor < timeline.len() && timeline[fault_cursor].at_secs < t_end {
+            faults_fired += 1;
+            match &timeline[fault_cursor].kind {
+                FaultKind::PriceShock {
+                    market,
+                    multiplier,
+                    hold_intervals,
+                } => {
+                    cloud.inject_price_shock(*market, *multiplier, *hold_intervals);
+                }
+                FaultKind::CorrelatedRevocation {
+                    markets,
+                    warning_secs,
+                } => {
+                    forced_revocations.push((markets.clone(), *warning_secs));
+                }
+                FaultKind::StartupDelay { extra_secs } => {
+                    extra_startup += extra_secs;
+                }
+                FaultKind::WarmupStall { extra_secs } => {
+                    extra_warmup += extra_secs;
+                }
+                FaultKind::BackendFlap { target, down_secs } => {
+                    pending_flaps.push((
+                        timeline[fault_cursor].at_secs.max(t0),
+                        *target,
+                        *down_secs,
+                    ));
+                }
+            }
+            fault_cursor += 1;
+        }
+
         let tick = cloud.step();
         // Interval 0 has no measurements yet; afterwards the policy is
         // fed the balancer-monitored rate.
@@ -210,19 +292,22 @@ pub fn run_full_stack(
             if want > have {
                 for _ in 0..(want - have) {
                     let cap = cloud.catalog().market(m).capacity_rps();
+                    let startup = config.startup_secs + extra_startup;
+                    let warmup = config.warmup_secs + extra_warmup;
                     let id = if interval == 0 {
                         // Bootstrap instantly so the run starts serving.
                         lb.add_backend_up(m, cap)
                     } else {
-                        lb.add_backend(m, cap, t0, config.startup_secs, config.warmup_secs)
+                        lb.add_backend(m, cap, t0, startup, warmup)
                     };
                     let warm_until = if interval == 0 {
                         0.0
                     } else {
-                        t0 + config.startup_secs + config.warmup_secs
+                        t0 + startup + warmup
                     };
                     services.push(ServiceModel::new(cap, config.service_secs, warm_until));
                     death_time.push(None);
+                    last_death.push(None);
                     born_at.push(t0);
                     alive[m].push(id);
                 }
@@ -234,9 +319,10 @@ pub fn run_full_stack(
                         // drain-fallback) until any replacement capacity
                         // started this interval is warmed up — releasing
                         // it earlier would open a gap on market switches.
-                        let linger =
-                            t0 + config.startup_secs + config.warmup_secs
-                                + 50.0 * config.service_secs;
+                        let linger = t0
+                            + config.startup_secs
+                            + config.warmup_secs
+                            + 50.0 * config.service_secs;
                         pending_deaths.push((linger, id));
                     }
                 }
@@ -261,12 +347,12 @@ pub fn run_full_stack(
         // the cap this interval, replacing them proactively so the
         // graceful drain overlaps the replacement's startup.
         if let Some(cap_secs) = config.max_lifetime_secs {
-            for m in 0..n_markets {
+            for (m, alive_m) in alive.iter_mut().enumerate() {
                 let mut idx = 0;
-                while idx < alive[m].len() {
-                    let id = alive[m][idx];
+                while idx < alive_m.len() {
+                    let id = alive_m[idx];
                     if t0 + config.interval_secs - born_at[id] >= cap_secs {
-                        alive[m].remove(idx);
+                        alive_m.remove(idx);
                         relinquished += 1;
                         lb.decommission(id, t0);
                         let linger = t0
@@ -275,21 +361,18 @@ pub fn run_full_stack(
                             + 50.0 * config.service_secs;
                         pending_deaths.push((linger, id));
                         let cap_rps = cloud.catalog().market(m).capacity_rps();
-                        let new_id = lb.add_backend(
-                            m,
-                            cap_rps,
-                            t0,
-                            config.startup_secs,
-                            config.warmup_secs,
-                        );
+                        let startup = config.startup_secs + extra_startup;
+                        let warmup = config.warmup_secs + extra_warmup;
+                        let new_id = lb.add_backend(m, cap_rps, t0, startup, warmup);
                         services.push(ServiceModel::new(
                             cap_rps,
                             config.service_secs,
-                            t0 + config.startup_secs + config.warmup_secs,
+                            t0 + startup + warmup,
                         ));
                         death_time.push(None);
+                        last_death.push(None);
                         born_at.push(t0);
-                        alive[m].push(new_id);
+                        alive_m.push(new_id);
                     } else {
                         idx += 1;
                     }
@@ -315,22 +398,52 @@ pub fn run_full_stack(
             // replacement the moment the warning arrives, so it is
             // serving before (or shortly after) the victim dies.
             let cap = cloud.catalog().market(e.market).capacity_rps();
-            let new_id = lb.add_backend(e.market, cap, t0, config.startup_secs, config.warmup_secs);
+            let startup = config.startup_secs + extra_startup;
+            let warmup = config.warmup_secs + extra_warmup;
+            let new_id = lb.add_backend(e.market, cap, t0, startup, warmup);
             services.push(ServiceModel::new(
                 cap,
                 config.service_secs,
-                t0 + config.startup_secs + config.warmup_secs,
+                t0 + startup + warmup,
             ));
             death_time.push(None);
+            last_death.push(None);
             born_at.push(t0);
             alive[e.market].push(new_id);
+        }
+
+        // Injected correlated revocations (chaos): every alive server
+        // in the targeted markets gets a warning — optionally shorter
+        // than the provider default — plus a reactive replacement, same
+        // as a sampled revocation.
+        for (markets, w_opt) in forced_revocations.drain(..) {
+            let w = w_opt.unwrap_or(warning);
+            for &m in &markets {
+                for id in std::mem::take(&mut alive[m]) {
+                    revocations += 1;
+                    lb.revocation_warning(id, t0, w);
+                    pending_deaths.push((t0 + w, id));
+                    let cap = cloud.catalog().market(m).capacity_rps();
+                    let startup = config.startup_secs + extra_startup;
+                    let warmup = config.warmup_secs + extra_warmup;
+                    let new_id = lb.add_backend(m, cap, t0, startup, warmup);
+                    services.push(ServiceModel::new(
+                        cap,
+                        config.service_secs,
+                        t0 + startup + warmup,
+                    ));
+                    death_time.push(None);
+                    last_death.push(None);
+                    born_at.push(t0);
+                    alive[m].push(new_id);
+                }
+            }
         }
 
         // Request-level simulation of the interval. Completions are
         // real events so the balancer's in-flight counts (and with
         // them saturation detection, least-utilized fallback and
         // admission control) reflect genuine queue depth.
-        let t_end = t0 + config.interval_secs;
         let mut now = t0 + exp_sample(&mut rng, trace.rate_at(t0).max(1e-6));
         while now < t_end {
             // Fire any deaths that came due.
@@ -339,35 +452,71 @@ pub fn run_full_stack(
                     lb.server_died(id, deadline);
                     services[id].kill(deadline);
                     death_time[id] = Some(deadline);
+                    last_death[id] = Some(deadline);
                     false
                 } else {
                     true
                 }
             });
+            // Chaos flaps: the first alive server of the target market
+            // crashes without warning, then restores after down_secs.
+            pending_flaps.retain(|&(fire_time, market, down_secs)| {
+                if fire_time <= now {
+                    if market < n_markets && !alive[market].is_empty() {
+                        let id = alive[market].remove(0);
+                        lb.server_died(id, fire_time);
+                        services[id].kill(fire_time);
+                        death_time[id] = Some(fire_time);
+                        last_death[id] = Some(fire_time);
+                        pending_restores.push((fire_time + down_secs, id, market));
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            let mut restored: Vec<(f64, usize, usize)> = Vec::new();
+            pending_restores.retain(|&(restore_time, id, market)| {
+                if restore_time <= now {
+                    restored.push((restore_time, id, market));
+                    false
+                } else {
+                    true
+                }
+            });
+            for (restore_time, id, market) in restored {
+                let warmup = config.warmup_secs + extra_warmup;
+                lb.restore_backend(id, restore_time, warmup);
+                death_time[id] = None;
+                let cap = cloud.catalog().market(market).capacity_rps();
+                services[id] = ServiceModel::new(cap, config.service_secs, restore_time + warmup);
+                alive[market].push(id);
+            }
             drain_completions(
                 now,
                 &mut completions,
                 &mut lb,
-                &death_time,
+                &last_death,
                 &mut recorder,
                 &mut monitor,
+                &mut checker,
             );
             lb.tick(now);
             let session = rng.gen_range(0..config.sessions);
+            checker.on_arrival();
             match lb.route(Some(session), now) {
                 RouteOutcome::Routed(b) => {
+                    checker.on_route(&lb, b, now);
                     let done = services[b].admit(now);
-                    completions.push(std::cmp::Reverse((
-                        done.to_bits(),
-                        b,
-                        now.to_bits(),
-                    )));
+                    completions.push(std::cmp::Reverse((done.to_bits(), b, now.to_bits())));
                 }
                 RouteOutcome::Dropped => {
+                    checker.on_dropped_at_admission();
                     recorder.record_drop(now);
                     monitor.record_dropped(now);
                 }
             }
+            checker.check_tick(&lb, now);
             // Arrivals follow the *true* trace rate (the generator is
             // the outside world; only the policy sees measurements).
             now += exp_sample(&mut rng, trace.rate_at(t0).max(1e-6));
@@ -376,9 +525,10 @@ pub fn run_full_stack(
             t_end,
             &mut completions,
             &mut lb,
-            &death_time,
+            &last_death,
             &mut recorder,
             &mut monitor,
+            &mut checker,
         );
         // Whatever still runs past the interval end resolves at the top
         // of the next interval (or here if the run is over).
@@ -387,9 +537,10 @@ pub fn run_full_stack(
                 f64::INFINITY,
                 &mut completions,
                 &mut lb,
-                &death_time,
+                &last_death,
                 &mut recorder,
                 &mut monitor,
+                &mut checker,
             );
         }
 
@@ -408,6 +559,7 @@ pub fn run_full_stack(
         }
     }
 
+    checker.check_drained();
     let (served, dropped) = recorder.totals();
     RunnerReport {
         served,
@@ -422,6 +574,8 @@ pub fn run_full_stack(
         lifetime_relinquishments: relinquished,
         fleet_sizes,
         buckets: recorder.all_stats(),
+        faults_fired,
+        invariant_violations: checker.violations().to_vec(),
     }
 }
 
@@ -456,8 +610,7 @@ impl FleetPolicy for ReactiveCheapestPolicy {
             .map(|(i, _)| i)
             .expect("non-empty catalog");
         let mut fleet = vec![0u32; prices.len()];
-        fleet[best] =
-            ((observed_rps * self.headroom) / self.capacities[best]).ceil() as u32;
+        fleet[best] = ((observed_rps * self.headroom) / self.capacities[best]).ceil() as u32;
         fleet
     }
 }
@@ -554,6 +707,98 @@ mod tests {
             "graceful rotation must not drop requests: {}",
             r.drop_fraction
         );
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_and_invariant_clean() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let catalog = Catalog::fig4_testbed();
+        let plan = FaultPlan::new()
+            .at(
+                700.0,
+                FaultKind::PriceShock {
+                    market: None,
+                    multiplier: 3.0,
+                    hold_intervals: 2,
+                },
+            )
+            .at(
+                1300.0,
+                FaultKind::CorrelatedRevocation {
+                    // All markets: the reactive policy may have parked
+                    // the whole fleet in any one of them.
+                    markets: (0..catalog.len()).collect(),
+                    warning_secs: None,
+                },
+            );
+        let config = RunnerConfig {
+            intervals: 5,
+            seed: 11,
+            faults: Some(plan),
+            ..RunnerConfig::default()
+        };
+        let run = || {
+            let mut cloud = CloudSim::new(catalog.clone(), 5, 100);
+            cloud.warm_up(8);
+            let trace = flat_trace(250.0, &config);
+            let mut p = policy(&catalog);
+            run_full_stack(&mut p, &mut cloud, &trace, &config)
+        };
+        let a = run();
+        let b = run();
+        assert!(a.faults_fired >= 2, "faults fired {}", a.faults_fired);
+        assert!(a.revocations > 0, "forced revocation must deliver warnings");
+        assert!(
+            a.invariant_violations.is_empty(),
+            "violations: {:?}",
+            a.invariant_violations
+        );
+        assert_eq!(
+            (a.served, a.dropped, a.cost.to_bits()),
+            (b.served, b.dropped, b.cost.to_bits())
+        );
+    }
+
+    #[test]
+    fn runner_flap_drops_then_recovers() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let catalog = Catalog::fig4_testbed();
+        // Flap one backend in every market mid-run (the policy
+        // concentrates the fleet in whichever market is cheapest, so
+        // hitting all of them guarantees a serving backend crashes);
+        // the run must absorb the crash and the restored backend must
+        // leave the conservation law intact.
+        let mut plan = FaultPlan::new();
+        for m in 0..catalog.len() {
+            plan = plan.at(
+                900.0,
+                FaultKind::BackendFlap {
+                    target: m,
+                    down_secs: 60.0,
+                },
+            );
+        }
+        let config = RunnerConfig {
+            intervals: 4,
+            seed: 5,
+            faults: Some(plan),
+            ..RunnerConfig::default()
+        };
+        let mut cloud = CloudSim::new(catalog.clone(), 5, 100);
+        cloud.warm_up(8);
+        let trace = flat_trace(250.0, &config);
+        let mut p = policy(&catalog);
+        let r = run_full_stack(&mut p, &mut cloud, &trace, &config);
+        assert_eq!(r.faults_fired, catalog.len());
+        assert!(
+            r.invariant_violations.is_empty(),
+            "violations: {:?}",
+            r.invariant_violations
+        );
+        assert!(r.served > 1000, "served {}", r.served);
+        // The final interval is past the restore; it must be healthy.
+        let last = r.buckets.last().expect("buckets");
+        assert_eq!(last.dropped, 0, "post-restore interval still dropping");
     }
 
     #[test]

@@ -66,12 +66,30 @@ impl Default for FailoverScenario {
             // (320) — 1120 rps total, ≈ 600 rps offered → util rises to
             // ~95% on survivors after the revocation.
             servers: vec![
-                ServerSpec { market: 0, capacity_rps: 80.0 },
-                ServerSpec { market: 0, capacity_rps: 80.0 },
-                ServerSpec { market: 1, capacity_rps: 160.0 },
-                ServerSpec { market: 1, capacity_rps: 160.0 },
-                ServerSpec { market: 2, capacity_rps: 320.0 },
-                ServerSpec { market: 2, capacity_rps: 320.0 },
+                ServerSpec {
+                    market: 0,
+                    capacity_rps: 80.0,
+                },
+                ServerSpec {
+                    market: 0,
+                    capacity_rps: 80.0,
+                },
+                ServerSpec {
+                    market: 1,
+                    capacity_rps: 160.0,
+                },
+                ServerSpec {
+                    market: 1,
+                    capacity_rps: 160.0,
+                },
+                ServerSpec {
+                    market: 2,
+                    capacity_rps: 320.0,
+                },
+                ServerSpec {
+                    market: 2,
+                    capacity_rps: 320.0,
+                },
             ],
             arrival_rps: 600.0,
             duration_secs: 600.0,
@@ -233,7 +251,12 @@ impl FailoverScenario {
                         // Reactive reprovisioning on the warning: start a
                         // replacement of the same capacity immediately.
                         self.spawn_replacement(
-                            backend, now, &mut lb, &mut services, &mut death_time, &mut queue,
+                            backend,
+                            now,
+                            &mut lb,
+                            &mut services,
+                            &mut death_time,
+                            &mut queue,
                         );
                     }
                 }
@@ -247,13 +270,23 @@ impl FailoverScenario {
                         // Vanilla reacts only once health checks see the
                         // dead server.
                         self.spawn_replacement(
-                            backend, now, &mut lb, &mut services, &mut death_time, &mut queue,
+                            backend,
+                            now,
+                            &mut lb,
+                            &mut services,
+                            &mut death_time,
+                            &mut queue,
                         );
                     }
                 }
                 Event::ServerReady { backend } => {
                     lb.tick(now);
                     let _ = backend;
+                }
+                Event::FaultTrigger { .. } | Event::BackendRestore { .. } => {
+                    // Chaos events belong to `faults::ChaosScenario`;
+                    // the plain failover scenario never schedules them.
+                    unreachable!("chaos event in FailoverScenario")
                 }
             }
         }
@@ -335,8 +368,16 @@ mod tests {
         );
         // The paper's numbers: SpotWeb ~0 drops, vanilla drops massively
         // right after the revocation. Shape assertions:
-        assert!(aware.drop_fraction < 0.01, "aware drops {}", aware.drop_fraction);
-        assert!(vanilla.drop_fraction > 0.02, "vanilla drops {}", vanilla.drop_fraction);
+        assert!(
+            aware.drop_fraction < 0.01,
+            "aware drops {}",
+            aware.drop_fraction
+        );
+        assert!(
+            vanilla.drop_fraction > 0.02,
+            "vanilla drops {}",
+            vanilla.drop_fraction
+        );
     }
 
     #[test]

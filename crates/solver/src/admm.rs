@@ -250,9 +250,12 @@ impl AdmmSolver {
         if new_rho > self.rho * tol || new_rho < self.rho / tol {
             self.rho = new_rho;
             self.rho_vec = build_rho_vec(&self.prob, new_rho);
-            if let Ok(kkt) =
-                factor_kkt(&self.prob, self.settings.sigma, &self.rho_vec, self.block_size)
-            {
+            if let Ok(kkt) = factor_kkt(
+                &self.prob,
+                self.settings.sigma,
+                &self.rho_vec,
+                self.block_size,
+            ) {
                 self.kkt = kkt;
             }
             // On (unlikely) factorization failure keep the old factor —
@@ -479,7 +482,12 @@ mod tests {
         )
         .unwrap();
         let sol = solve(p);
-        assert!(sol.is_solved(), "residuals {} {}", sol.primal_residual, sol.dual_residual);
+        assert!(
+            sol.is_solved(),
+            "residuals {} {}",
+            sol.primal_residual,
+            sol.dual_residual
+        );
         assert!(sol.x[0].abs() < 1e-3, "x1 = {}", sol.x[0]);
         assert!((sol.x[1] - 1.0).abs() < 1e-3, "x2 = {}", sol.x[1]);
     }

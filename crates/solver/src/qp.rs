@@ -85,7 +85,8 @@ impl QpProblem {
 
     /// Objective value `½ xᵀPx + qᵀx` at a point.
     pub fn objective(&self, x: &[f64]) -> f64 {
-        0.5 * self.p.quadratic_form(x).expect("dimension checked") + spotweb_linalg::vector::dot(&self.q, x)
+        0.5 * self.p.quadratic_form(x).expect("dimension checked")
+            + spotweb_linalg::vector::dot(&self.q, x)
     }
 
     /// Worst constraint violation `max(l − Ax, Ax − u, 0)` at a point.

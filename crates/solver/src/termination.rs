@@ -36,7 +36,8 @@ impl Residuals {
     ) -> Residuals {
         a.matvec_into(x, ax).expect("residual: A·x shape");
         p.matvec_into(x, px).expect("residual: P·x shape");
-        a.matvec_transpose_into(y, aty).expect("residual: Aᵀ·y shape");
+        a.matvec_transpose_into(y, aty)
+            .expect("residual: Aᵀ·y shape");
         Self::reduce(q, z, ax, px, aty)
     }
 
@@ -55,12 +56,12 @@ impl Residuals {
     ) -> Residuals {
         a.matvec_into(x, ax).expect("residual: A·x shape");
         p.matvec_into(x, px).expect("residual: P·x shape");
-        a.matvec_transpose_into(y, aty).expect("residual: Aᵀ·y shape");
+        a.matvec_transpose_into(y, aty)
+            .expect("residual: Aᵀ·y shape");
         Self::reduce(q, z, ax, px, aty)
     }
 
     fn reduce(q: &[f64], z: &[f64], ax: &[f64], px: &[f64], aty: &[f64]) -> Residuals {
-
         let mut primal: f64 = 0.0;
         for (axi, zi) in ax.iter().zip(z) {
             primal = primal.max((axi - zi).abs());

@@ -35,7 +35,9 @@ impl core::fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             TraceIoError::Io(e) => write!(f, "io error: {e}"),
-            TraceIoError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            TraceIoError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
             TraceIoError::TooShort => write!(f, "trace needs at least two rows"),
             TraceIoError::IrregularInterval { line } => {
                 write!(f, "irregular sampling interval at line {line}")
@@ -149,7 +151,10 @@ mod tests {
     #[test]
     fn rejects_short() {
         let data = "time_secs,rate_rps\n0,100\n";
-        assert!(matches!(read_csv(data.as_bytes()), Err(TraceIoError::TooShort)));
+        assert!(matches!(
+            read_csv(data.as_bytes()),
+            Err(TraceIoError::TooShort)
+        ));
     }
 
     #[test]
@@ -164,7 +169,10 @@ mod tests {
     #[test]
     fn rejects_negative_rate() {
         let data = "time_secs,rate_rps\n0,1\n10,-2\n";
-        assert!(matches!(read_csv(data.as_bytes()), Err(TraceIoError::Parse { .. })));
+        assert!(matches!(
+            read_csv(data.as_bytes()),
+            Err(TraceIoError::Parse { .. })
+        ));
     }
 
     #[test]

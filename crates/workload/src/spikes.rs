@@ -104,8 +104,18 @@ mod tests {
     #[test]
     fn multiple_spikes_superpose() {
         let spikes = [
-            Spike { start: 2, magnitude: 0.5, ramp: 1, half_life: 1.0 },
-            Spike { start: 2, magnitude: 0.5, ramp: 1, half_life: 1.0 },
+            Spike {
+                start: 2,
+                magnitude: 0.5,
+                ramp: 1,
+                half_life: 1.0,
+            },
+            Spike {
+                start: 2,
+                magnitude: 0.5,
+                ramp: 1,
+                half_life: 1.0,
+            },
         ];
         let t = inject_spikes(&flat(10), &spikes);
         assert_eq!(t.values[2], 200.0);
@@ -115,7 +125,12 @@ mod tests {
     fn spike_near_end_is_truncated() {
         let t = inject_spikes(
             &flat(5),
-            &[Spike { start: 4, magnitude: 2.0, ramp: 3, half_life: 2.0 }],
+            &[Spike {
+                start: 4,
+                magnitude: 2.0,
+                ramp: 3,
+                half_life: 2.0,
+            }],
         );
         assert_eq!(t.len(), 5);
         assert!(t.values[4] > 100.0);

@@ -39,10 +39,7 @@ impl TraceStats {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in traces"));
         let min = sorted.first().copied().unwrap_or(0.0);
         let max = sorted.last().copied().unwrap_or(0.0);
-        let large_jumps = v
-            .windows(2)
-            .filter(|w| w[1] > 1.5 * w[0].max(1.0))
-            .count();
+        let large_jumps = v.windows(2).filter(|w| w[1] > 1.5 * w[0].max(1.0)).count();
         TraceStats {
             len: v.len(),
             mean,

@@ -69,7 +69,8 @@ pub fn vod_with(hours: usize, seed: u64, p: &VodParams) -> Trace {
         // shoulder from ~18:00, floored at `night_floor`.
         let prime = (-((hod - 21.0) * (hod - 21.0)) / (2.0 * 3.0 * 3.0)).exp();
         let shoulder = (-((hod - 18.0) * (hod - 18.0)) / (2.0 * 4.0 * 4.0)).exp();
-        let mut shape = p.night_floor + (p.prime_time_boost - p.night_floor) * prime.max(0.6 * shoulder);
+        let mut shape =
+            p.night_floor + (p.prime_time_boost - p.night_floor) * prime.max(0.6 * shoulder);
         if day % 7 >= 5 && (18.0..=23.0).contains(&hod) {
             shape *= 1.0 + p.weekend_boost;
         }
@@ -99,8 +100,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(vod_like(THREE_WEEKS, 1).values, vod_like(THREE_WEEKS, 1).values);
-        assert_ne!(vod_like(THREE_WEEKS, 1).values, vod_like(THREE_WEEKS, 2).values);
+        assert_eq!(
+            vod_like(THREE_WEEKS, 1).values,
+            vod_like(THREE_WEEKS, 1).values
+        );
+        assert_ne!(
+            vod_like(THREE_WEEKS, 1).values,
+            vod_like(THREE_WEEKS, 2).values
+        );
     }
 
     #[test]
@@ -148,7 +155,11 @@ mod tests {
     #[test]
     fn mean_near_target() {
         let t = vod_like(THREE_WEEKS, 6);
-        assert!((t.mean() - 1500.0).abs() / 1500.0 < 0.05, "mean {}", t.mean());
+        assert!(
+            (t.mean() - 1500.0).abs() / 1500.0 < 0.05,
+            "mean {}",
+            t.mean()
+        );
     }
 
     #[test]

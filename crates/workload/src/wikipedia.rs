@@ -65,11 +65,14 @@ pub fn wikipedia_with(hours: usize, seed: u64, p: &WikipediaParams) -> Trace {
         let hour_of_day = (h % 24) as f64;
         let day = h / 24;
         // Diurnal: trough 04:00, peak 15:00 → phase shift.
-        let diurnal = 1.0
-            + p.diurnal_amplitude
-                * ((hour_of_day - 15.0) / 24.0 * std::f64::consts::TAU).cos();
+        let diurnal =
+            1.0 + p.diurnal_amplitude * ((hour_of_day - 15.0) / 24.0 * std::f64::consts::TAU).cos();
         // Weekly: days 5, 6 of each week are weekend.
-        let weekly = if day % 7 >= 5 { 1.0 - p.weekend_dip } else { 1.0 };
+        let weekly = if day % 7 >= 5 {
+            1.0 - p.weekend_dip
+        } else {
+            1.0
+        };
         // Growth across the window.
         let trend = if hours > 1 {
             1.0 + p.growth * h as f64 / (hours - 1) as f64

@@ -14,7 +14,11 @@ use spotweb::sim::scenario::FailoverScenario;
 
 fn main() {
     for aware in [true, false] {
-        let label = if aware { "SpotWeb (transiency-aware)" } else { "vanilla WRR" };
+        let label = if aware {
+            "SpotWeb (transiency-aware)"
+        } else {
+            "vanilla WRR"
+        };
         let report = FailoverScenario {
             transiency_aware: aware,
             ..FailoverScenario::default()
@@ -22,9 +26,21 @@ fn main() {
         .run();
 
         println!("=== {label} ===");
-        println!("  served {:>7}   dropped {:>6}   drop rate {:>6.2}%", report.served, report.dropped, 100.0 * report.drop_fraction);
-        println!("  overall p90 {:>5.0} ms   p99 {:>5.0} ms", 1000.0 * report.p90, 1000.0 * report.p99);
-        println!("  sessions migrated {:>5}   sessions lost {:>5}", report.migrated_sessions, report.lost_sessions);
+        println!(
+            "  served {:>7}   dropped {:>6}   drop rate {:>6.2}%",
+            report.served,
+            report.dropped,
+            100.0 * report.drop_fraction
+        );
+        println!(
+            "  overall p90 {:>5.0} ms   p99 {:>5.0} ms",
+            1000.0 * report.p90,
+            1000.0 * report.p99
+        );
+        println!(
+            "  sessions migrated {:>5}   sessions lost {:>5}",
+            report.migrated_sessions, report.lost_sessions
+        );
         println!("  minute-by-minute (revocation warning fires at t = 180 s):");
         println!("    minute   served   mean    p50     p90     p99   dropped");
         for b in &report.buckets {

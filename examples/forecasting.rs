@@ -15,7 +15,11 @@ use spotweb::predict::{
 use spotweb::workload::{vod_like, wikipedia_like, Trace};
 
 fn report(name: &str, trace: &Trace) {
-    println!("== {name} (mean {:.0} req/s, peak {:.0} req/s)", trace.mean(), trace.peak());
+    println!(
+        "== {name} (mean {:.0} req/s, peak {:.0} req/s)",
+        trace.mean(),
+        trace.peak()
+    );
     println!(
         "{:<18} {:>8} {:>11} {:>11} {:>11} {:>11}",
         "predictor", "MAE", "mean-over", "max-over", "max-under", "under-freq"

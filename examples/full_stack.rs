@@ -42,9 +42,24 @@ fn main() {
 
     println!("6-hour full-stack run (10-minute re-optimization):");
     println!("  requests served   {:>9}", report.served);
-    println!("  requests dropped  {:>9}  ({:.3}%)", report.dropped, 100.0 * report.drop_fraction);
-    println!("  latency p50/p90/p99  {:>4.0} / {:>4.0} / {:>4.0} ms", 1000.0 * report.p50, 1000.0 * report.p90, 1000.0 * report.p99);
-    println!("  revocation warnings  {:>3}   sessions migrated {:>5}", report.revocations, report.migrated_sessions);
-    println!("  provisioning spend   ${:.3} (per-second billing at spot prices)", report.cost);
+    println!(
+        "  requests dropped  {:>9}  ({:.3}%)",
+        report.dropped,
+        100.0 * report.drop_fraction
+    );
+    println!(
+        "  latency p50/p90/p99  {:>4.0} / {:>4.0} / {:>4.0} ms",
+        1000.0 * report.p50,
+        1000.0 * report.p90,
+        1000.0 * report.p99
+    );
+    println!(
+        "  revocation warnings  {:>3}   sessions migrated {:>5}",
+        report.revocations, report.migrated_sessions
+    );
+    println!(
+        "  provisioning spend   ${:.3} (per-second billing at spot prices)",
+        report.cost
+    );
     println!("  fleet size per interval: {:?}", report.fleet_sizes);
 }

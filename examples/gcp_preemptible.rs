@@ -9,7 +9,9 @@
 //! Run with: `cargo run --release --example gcp_preemptible`
 
 use spotweb::core::evaluate::EvalOptions;
-use spotweb::core::{simulate_costs, ExoSpherePolicy, OnDemandPolicy, SpotWebConfig, SpotWebPolicy};
+use spotweb::core::{
+    simulate_costs, ExoSpherePolicy, OnDemandPolicy, SpotWebConfig, SpotWebPolicy,
+};
 use spotweb::market::{Catalog, Provider};
 use spotweb::workload::wikipedia_like;
 
@@ -23,7 +25,11 @@ fn main() {
         "{:<20} {:>14} {:>14} {:>14} {:>16}",
         "provider", "spotweb", "exosphere-loop", "on-demand", "vs on-demand"
     );
-    for provider in [Provider::Ec2Spot, Provider::GcpPreemptible, Provider::AzureLowPriority] {
+    for provider in [
+        Provider::Ec2Spot,
+        Provider::GcpPreemptible,
+        Provider::AzureLowPriority,
+    ] {
         let options = EvalOptions {
             intervals: 7 * 24,
             seed: 7,

@@ -64,8 +64,16 @@ fn main() {
 
     // 5. Deploy the first interval of the plan.
     let allocation = decision.first();
-    let fleet = to_server_counts(&catalog, allocation, forecast.workload[0], config.min_allocation);
-    println!("\nportfolio for the next hour (λ̂ = {} req/s):", forecast.workload[0]);
+    let fleet = to_server_counts(
+        &catalog,
+        allocation,
+        forecast.workload[0],
+        config.min_allocation,
+    );
+    println!(
+        "\nportfolio for the next hour (λ̂ = {} req/s):",
+        forecast.workload[0]
+    );
     for (i, (&a, &n)) in allocation.iter().zip(&fleet).enumerate() {
         if n > 0 {
             println!(

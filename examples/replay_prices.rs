@@ -9,9 +9,7 @@
 //! Run with: `cargo run --release --example replay_prices`
 
 use spotweb::core::evaluate::covariance_from_cloud;
-use spotweb::core::{
-    to_server_counts, ForecastBundle, MpoOptimizer, SpotWebConfig,
-};
+use spotweb::core::{to_server_counts, ForecastBundle, MpoOptimizer, SpotWebConfig};
 use spotweb::market::io::{read_price_csv, write_price_csv};
 use spotweb::market::{Catalog, CloudSim, RevocationModel, SpotPriceProcess};
 
@@ -24,7 +22,12 @@ fn main() {
     let rows = recorder.generate(72);
     let mut csv = Vec::new();
     write_price_csv(&catalog, &rows, &mut csv).expect("serialize prices");
-    println!("recorded {} hours × {} markets ({} bytes of CSV)\n", rows.len(), catalog.len(), csv.len());
+    println!(
+        "recorded {} hours × {} markets ({} bytes of CSV)\n",
+        rows.len(),
+        catalog.len(),
+        csv.len()
+    );
 
     // 2. Read the CSV back and build a replaying cloud.
     let recorded = read_price_csv(csv.as_slice()).expect("parse prices");
@@ -47,7 +50,12 @@ fn main() {
         prev = decision.first().to_vec();
         let fleet = to_server_counts(&catalog, decision.first(), 30_000.0, 5e-3);
         let per_req: Vec<String> = (0..catalog.len())
-            .map(|i| format!("{:6.2}", 1e6 * tick.prices[i] / catalog.market(i).capacity_rps() / 3600.0))
+            .map(|i| {
+                format!(
+                    "{:6.2}",
+                    1e6 * tick.prices[i] / catalog.market(i).capacity_rps() / 3600.0
+                )
+            })
             .collect();
         println!("{hour:>4}  [{}]      {:?}", per_req.join(", "), fleet);
     }

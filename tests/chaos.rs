@@ -1,0 +1,98 @@
+//! Chaos regression tests: replay the named fault-injection scenarios
+//! through the `spotweb` facade and pin the paper's headline failover
+//! behaviour (Fig. 4(a)) plus the harness's own guarantees —
+//! determinism and conservation invariants.
+
+use spotweb::sim::{ChaosScenario, NAMED_SCENARIOS};
+
+/// Fig. 4(a), as a chaos scenario: under a correlated revocation storm
+/// the transiency-aware balancer drains + migrates + reprovisions
+/// inside the warning window and loses nothing, while a vanilla WRR
+/// balancer keeps routing sticky sessions into the doomed servers and
+/// loses the majority of the offered load.
+#[test]
+fn storm_aware_loses_nothing_vanilla_loses_majority() {
+    let aware = ChaosScenario::named("revocation-storm").run();
+    assert!(aware.invariants_ok(), "{:?}", aware.invariant_violations);
+    assert_eq!(
+        aware.dropped, 0,
+        "transiency-aware balancer dropped {} requests in the storm",
+        aware.dropped
+    );
+    assert_eq!(aware.lost_sessions, 0);
+    assert!(aware.migrated_sessions > 0, "storm must force migrations");
+
+    let vanilla = ChaosScenario::named("revocation-storm-vanilla").run();
+    assert!(
+        vanilla.invariants_ok(),
+        "{:?}",
+        vanilla.invariant_violations
+    );
+    assert!(
+        vanilla.drop_fraction > 0.5,
+        "vanilla WRR should lose most requests once the revoked markets \
+         die (dropped {:.1}%)",
+        100.0 * vanilla.drop_fraction
+    );
+}
+
+/// With the warning window collapsed to zero there is no time to drain:
+/// the revoked servers die with work in flight. Admission control and
+/// reactive reprovisioning must still bound the damage — a one-off
+/// loss spike, bounded queueing delay, and a clean tail once the
+/// replacements warm up.
+#[test]
+fn zero_warning_sheds_load_but_recovers() {
+    let report = ChaosScenario::named("zero-warning").run();
+    assert!(report.invariants_ok(), "{:?}", report.invariant_violations);
+    assert!(
+        report.dropped > 0,
+        "a zero-warning kill must cost some in-flight requests"
+    );
+    assert!(
+        report.drop_fraction < 0.25,
+        "losses must stay a spike, not a collapse: {:.1}%",
+        100.0 * report.drop_fraction
+    );
+    assert!(
+        report.p99 < 4.0,
+        "admission control must bound queue wait (p99 {:.2} s)",
+        report.p99
+    );
+    let last = report.buckets.last().expect("buckets");
+    assert_eq!(
+        last.dropped, 0,
+        "the final minute, long after the replacements warmed up, must \
+         be clean"
+    );
+}
+
+/// Acceptance criterion: the same seed and fault plan produce
+/// byte-identical metrics JSON across two runs.
+#[test]
+fn same_seed_storm_replays_byte_identical() {
+    let a = ChaosScenario::named("revocation-storm")
+        .run()
+        .to_json_pretty();
+    let b = ChaosScenario::named("revocation-storm")
+        .run()
+        .to_json_pretty();
+    assert_eq!(a, b, "chaos replay must be byte-stable");
+}
+
+/// Every named scenario must run to completion with the conservation
+/// laws intact (requests in = served + dropped + in-flight, no routing
+/// to dead backends, drains respect deadlines).
+#[test]
+fn all_named_scenarios_hold_invariants() {
+    for name in NAMED_SCENARIOS {
+        let report = ChaosScenario::named(name).run();
+        assert!(
+            report.invariants_ok(),
+            "{name}: {:?}",
+            report.invariant_violations
+        );
+        assert!(report.served > 0, "{name}: nothing served");
+        assert!(report.faults_fired > 0, "{name}: no fault fired");
+    }
+}

@@ -45,7 +45,11 @@ fn spotweb_beats_exosphere_and_on_demand() {
         r_sw.savings_vs(&r_od)
     );
     // SpotWeb keeps SLO violations (drops) below the 5%-style budget.
-    assert!(r_sw.drop_fraction() < 0.01, "drops {}", r_sw.drop_fraction());
+    assert!(
+        r_sw.drop_fraction() < 0.01,
+        "drops {}",
+        r_sw.drop_fraction()
+    );
 }
 
 #[test]

@@ -5,13 +5,7 @@
 use proptest::prelude::*;
 use spotweb::sim::scenario::{FailoverScenario, ServerSpec};
 
-fn scenario(
-    rate: f64,
-    servers: usize,
-    aware: bool,
-    revoke: bool,
-    seed: u64,
-) -> FailoverScenario {
+fn scenario(rate: f64, servers: usize, aware: bool, revoke: bool, seed: u64) -> FailoverScenario {
     FailoverScenario {
         servers: (0..servers)
             .map(|i| ServerSpec {

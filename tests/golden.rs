@@ -1,0 +1,81 @@
+//! Golden-trace regression tests: the fixed-seed Fig. 4(a) and
+//! Fig. 6(a) statistics are pinned as JSON fixtures under
+//! `tests/golden/`. A behavioural change anywhere in the pipeline —
+//! RNG streams, market dynamics, balancer policy, service model —
+//! shows up here as a numeric diff.
+//!
+//! Regenerate the fixtures (after an *intentional* change) with:
+//!
+//! ```text
+//! cargo run --release -p spotweb-bench --bin figures -- fig4a --seed 1234 \
+//!     > tests/golden/fig4a.json
+//! cargo run --release -p spotweb-bench --bin figures -- fig6a --seed 1234 \
+//!     --intervals 24 > tests/golden/fig6a.json
+//! ```
+
+use serde_json::Value;
+use spotweb_bench::{fig4, fig6, DEFAULT_SEED};
+
+const GOLDEN_INTERVALS: usize = 24;
+/// Relative tolerance on numeric leaves. The pipeline is deterministic,
+/// so this only absorbs float-formatting round-trips, not drift.
+const REL_TOL: f64 = 1e-9;
+
+fn assert_close(actual: &Value, golden: &Value, path: &str) {
+    match (actual, golden) {
+        (Value::Number(a), Value::Number(g)) => {
+            let scale = g.abs().max(1.0);
+            assert!(
+                (a - g).abs() <= REL_TOL * scale,
+                "{path}: {a} deviates from golden {g}"
+            );
+        }
+        (Value::String(a), Value::String(g)) => {
+            assert_eq!(a, g, "{path}: string mismatch");
+        }
+        (Value::Bool(a), Value::Bool(g)) => {
+            assert_eq!(a, g, "{path}: bool mismatch");
+        }
+        (Value::Null, Value::Null) => {}
+        (Value::Array(a), Value::Array(g)) => {
+            assert_eq!(a.len(), g.len(), "{path}: array length changed");
+            for (i, (av, gv)) in a.iter().zip(g).enumerate() {
+                assert_close(av, gv, &format!("{path}[{i}]"));
+            }
+        }
+        (Value::Object(a), Value::Object(g)) => {
+            let mut a_keys: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+            let mut g_keys: Vec<&str> = g.iter().map(|(k, _)| k.as_str()).collect();
+            a_keys.sort_unstable();
+            g_keys.sort_unstable();
+            assert_eq!(a_keys, g_keys, "{path}: object keys changed");
+            for (k, av) in a {
+                assert_close(
+                    av,
+                    golden.get(k).expect("key checked"),
+                    &format!("{path}.{k}"),
+                );
+            }
+        }
+        _ => panic!("{path}: JSON type changed ({actual:?} vs golden {golden:?})"),
+    }
+}
+
+fn reserialize<T: serde::Serialize>(value: &T) -> Value {
+    let text = serde_json::to_string(value).expect("figure serializes");
+    serde_json::from_str(&text).expect("round-trips")
+}
+
+#[test]
+fn fig4a_matches_golden_trace() {
+    let actual = reserialize(&fig4::run_fig4a(DEFAULT_SEED));
+    let golden = serde_json::from_str(include_str!("golden/fig4a.json")).expect("fixture parses");
+    assert_close(&actual, &golden, "fig4a");
+}
+
+#[test]
+fn fig6a_matches_golden_trace() {
+    let actual = reserialize(&fig6::run_fig6a(GOLDEN_INTERVALS, DEFAULT_SEED));
+    let golden = serde_json::from_str(include_str!("golden/fig6a.json")).expect("fixture parses");
+    assert_close(&actual, &golden, "fig6a");
+}

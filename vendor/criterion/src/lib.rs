@@ -1,0 +1,196 @@
+//! Offline vendored shim of the `criterion` bench API used by the
+//! spotweb workspace: `Criterion`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! It is a real (if simple) harness: each benchmark is warmed up once,
+//! then timed over a bounded number of iterations, and the mean
+//! per-iteration wall time is printed. There is no statistical
+//! analysis, plotting, or baseline persistence.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Upper bound on timed iterations per benchmark.
+const MAX_ITERS: u64 = 200;
+/// Target measurement budget per benchmark.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    label: String,
+}
+
+impl Bencher {
+    /// Time `f`, printing the mean per-iteration duration.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up (also validates the closure runs).
+        std::hint::black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && start.elapsed() < TIME_BUDGET {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        let mean = start.elapsed().as_secs_f64() / iters.max(1) as f64;
+        println!(
+            "bench {:<50} {:>12.3} µs/iter ({iters} iters)",
+            self.label,
+            mean * 1e6
+        );
+    }
+
+    /// Time `routine` on a fresh input from `setup` each iteration;
+    /// only the routine is measured.
+    pub fn iter_with_setup<I, T, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> T,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < MAX_ITERS && measured < TIME_BUDGET {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        let mean = measured.as_secs_f64() / iters.max(1) as f64;
+        println!(
+            "bench {:<50} {:>12.3} µs/iter ({iters} iters)",
+            self.label,
+            mean * 1e6
+        );
+    }
+}
+
+/// Benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            label: name.to_string(),
+        };
+        f(&mut bencher);
+        self
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; this harness sizes itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            label: format!("{}/{}", self.name, id.id),
+        };
+        f(&mut bencher, input);
+        self
+    }
+
+    /// Run a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            label: format!("{}/{}", self.name, name),
+        };
+        f(&mut bencher);
+        self
+    }
+
+    /// End the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure() {
+        let mut counter = 0u64;
+        let mut bencher = Bencher {
+            label: "unit".into(),
+        };
+        bencher.iter(|| {
+            counter += 1;
+            counter
+        });
+        assert!(counter >= 1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(32).id, "32");
+    }
+}

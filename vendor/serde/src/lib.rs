@@ -1,0 +1,164 @@
+//! Offline vendored shim of the `serde` serialization surface the
+//! spotweb workspace uses: the [`Serialize`] trait plus
+//! `#[derive(Serialize)]` for plain named-field structs.
+//!
+//! Instead of the full serde data model, serialization lowers values
+//! into a small JSON-shaped [`Content`] tree that `serde_json` (the
+//! sibling shim) renders. Field order is declaration order, so output
+//! is deterministic — a property the chaos/golden regression tests
+//! rely on.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// JSON-shaped intermediate representation produced by [`Serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (rendered with full round-trip precision).
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object with declaration-ordered keys.
+    Map(Vec<(String, Content)>),
+}
+
+/// Lower a value into the [`Content`] tree.
+pub trait Serialize {
+    /// Build the JSON-shaped representation of `self`.
+    fn to_content(&self) -> Content;
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower() {
+        assert_eq!(3u32.to_content(), Content::U64(3));
+        assert_eq!((-2i64).to_content(), Content::I64(-2));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!("x".to_string().to_content(), Content::Str("x".into()));
+    }
+
+    #[test]
+    fn collections_lower() {
+        assert_eq!(
+            vec![1u64, 2].to_content(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)])
+        );
+        assert_eq!(Option::<u64>::None.to_content(), Content::Null);
+    }
+}

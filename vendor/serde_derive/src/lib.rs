@@ -1,0 +1,135 @@
+//! Offline vendored shim of `serde_derive`: `#[derive(Serialize)]` for
+//! plain named-field structs (no generics, no enums, no field
+//! attributes — the only shapes the spotweb workspace derives).
+//!
+//! Token parsing is hand-rolled because the container cannot fetch
+//! `syn`/`quote`. The macro emits an `impl serde::Serialize` whose
+//! `to_content` builds a `serde::Content::Map` in field declaration
+//! order, which keeps rendered JSON deterministic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+
+    // Skip outer attributes (`#[...]`) and doc comments ahead of the item.
+    while idx < tokens.len() {
+        match &tokens[idx] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                idx += 2; // '#' plus the bracket group
+            }
+            _ => break,
+        }
+    }
+
+    // Skip visibility: `pub` optionally followed by a `(...)` restriction.
+    if let Some(TokenTree::Ident(id)) = tokens.get(idx) {
+        if id.to_string() == "pub" {
+            idx += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(idx) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    idx += 1;
+                }
+            }
+        }
+    }
+
+    match tokens.get(idx) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => idx += 1,
+        other => panic!("derive(Serialize) shim supports only structs, found {other:?}"),
+    }
+
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected struct name, found {other:?}"),
+    };
+    idx += 1;
+
+    let body = match tokens.get(idx) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "derive(Serialize) shim supports only named-field structs \
+             (struct {name}: found {other:?})"
+        ),
+    };
+
+    let fields = parse_field_names(body);
+
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_content(&self.{f})),"))
+        .collect();
+
+    let output = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> serde::Content {{\n\
+                 serde::Content::Map(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    output
+        .parse()
+        .expect("derive(Serialize) shim: generated impl must parse")
+}
+
+/// Extract field identifiers from the struct body, in declaration order.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+
+    while idx < tokens.len() {
+        // Skip field attributes / doc comments.
+        while let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+            if p.as_char() == '#' {
+                idx += 2;
+            } else {
+                break;
+            }
+        }
+        // Skip visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(idx) {
+            if id.to_string() == "pub" {
+                idx += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(idx) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        idx += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(idx) else {
+            break;
+        };
+        fields.push(field.to_string());
+        idx += 1;
+
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => idx += 1,
+            other => panic!("derive(Serialize): expected ':' after field, found {other:?}"),
+        }
+
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // `<`/`>` are individual puncts in proc-macro streams, so track
+        // nesting by hand (no `->` appears inside struct field types).
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(idx) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        idx += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            idx += 1;
+        }
+    }
+    fields
+}
