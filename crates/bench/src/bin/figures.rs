@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures <command> [--seed N] [--intervals N] [--workload wikipedia|vod]
-//!         [--scenario NAME] [--summary]
+//!         [--scenario NAME] [--summary] [--out DIR]
 //!
 //! commands:
 //!   fig3        workload traces (Fig. 3a/3b)
@@ -17,7 +17,13 @@
 //!   discussion  §7 provider portability (EC2 / GCP / Azure profiles)
 //!   chaos       replay named fault-injection scenarios
 //!               (--scenario NAME for one; all of them by default)
-//!   all         everything above
+//!   trace       full-stack telemetry replay of a chaos scenario;
+//!               prints byte-stable trace JSONL, or with --out DIR
+//!               writes trace.jsonl + metrics.prom +
+//!               BENCH_telemetry.json (wall-clock solver timings)
+//!   report      human-readable decision/forecast/drain explanation
+//!               of the same traced replay
+//!   all         everything above (except trace/report)
 //! ```
 //!
 //! Default output is pretty-printed JSON (machine-readable series);
@@ -38,6 +44,7 @@ struct Args {
     workload: Fig6bWorkload,
     scenario: Option<String>,
     summary: bool,
+    out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         workload: Fig6bWorkload::Wikipedia,
         scenario: None,
         summary: false,
+        out: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -78,6 +86,9 @@ fn parse_args() -> Result<Args, String> {
                 out.scenario = Some(args.next().ok_or("--scenario needs a value")?);
             }
             "--summary" => out.summary = true,
+            "--out" => {
+                out.out = Some(args.next().ok_or("--out needs a directory")?);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -332,6 +343,38 @@ fn run(args: &Args) -> Result<(), String> {
                 }
             }
         }
+        "trace" => {
+            use spotweb_bench::telem;
+            let name = args.scenario.as_deref().unwrap_or("revocation-storm");
+            let traced = telem::run_trace(name, seed)?;
+            match &args.out {
+                Some(dir) => {
+                    let dir = std::path::Path::new(dir);
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("create {}: {e}", dir.display()))?;
+                    let write = |file: &str, contents: String| {
+                        let path = dir.join(file);
+                        std::fs::write(&path, contents)
+                            .map_err(|e| format!("write {}: {e}", path.display()))
+                    };
+                    write("trace.jsonl", traced.sink.export_jsonl())?;
+                    write("metrics.prom", traced.sink.render_prometheus())?;
+                    write("BENCH_telemetry.json", traced.sink.render_timings_json())?;
+                    eprintln!(
+                        "wrote trace.jsonl ({} events), metrics.prom, BENCH_telemetry.json to {}",
+                        traced.sink.events().len(),
+                        dir.display()
+                    );
+                }
+                None => print!("{}", traced.sink.export_jsonl()),
+            }
+        }
+        "report" => {
+            use spotweb_bench::telem;
+            let name = args.scenario.as_deref().unwrap_or("revocation-storm");
+            let traced = telem::run_trace(name, seed)?;
+            print!("{}", telem::render_report(&traced));
+        }
         "all" => {
             for cmd in [
                 "fig3",
@@ -353,6 +396,7 @@ fn run(args: &Args) -> Result<(), String> {
                     workload: args.workload,
                     scenario: args.scenario.clone(),
                     summary: args.summary,
+                    out: None,
                 };
                 eprintln!("=== {cmd} ===");
                 run(&sub)?;
@@ -367,7 +411,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--summary]");
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--summary] [--out DIR]");
             return ExitCode::from(2);
         }
     };

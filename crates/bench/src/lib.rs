@@ -15,6 +15,7 @@
 //! | [`fig7`]  | Fig. 7(a) — savings vs prediction error; Fig. 7(b) — optimizer scalability |
 //! | [`ablations`] | beyond-the-paper sweeps: churn γ, risk α, CI level, horizon |
 //! | [`discussion`] | §7 provider portability: EC2 vs GCP vs Azure profiles |
+//! | [`telem`] | `figures trace`/`report` — full-stack telemetry replay of the chaos scenarios |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +27,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod telem;
 
 /// Default seed used across the harness so every figure is
 /// reproducible end-to-end.

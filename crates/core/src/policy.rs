@@ -15,9 +15,10 @@
 //!   "up to 90% savings" comparison of §8).
 
 use spotweb_linalg::Matrix;
-use spotweb_market::Catalog;
+use spotweb_market::{Catalog, Market, MarketKind};
 use spotweb_predict::price::MeanRevertingPricePredictor;
 use spotweb_predict::{SeriesPredictor, SpotWebPredictor};
+use spotweb_telemetry::{DecisionRecord, MarketEval, TelemetrySink, TraceEvent};
 
 use crate::allocation::to_server_counts;
 use crate::config::SpotWebConfig;
@@ -75,6 +76,16 @@ pub struct SpotWebPolicy {
     use_price_prediction: bool,
     prev_allocation: Vec<f64>,
     name: String,
+    telemetry: TelemetrySink,
+}
+
+/// Human-readable market label for decision records.
+fn market_label(m: &Market) -> String {
+    let kind = match m.kind {
+        MarketKind::OnDemand => "on-demand",
+        MarketKind::Spot => "spot",
+    };
+    format!("{}/{kind}", m.instance.name)
 }
 
 impl SpotWebPolicy {
@@ -100,7 +111,18 @@ impl SpotWebPolicy {
             use_price_prediction: true,
             prev_allocation: vec![0.0; markets],
             name: format!("spotweb(H={h})"),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink: every decide emits a
+    /// [`DecisionRecord`] trace event, solver wall-clock goes to the
+    /// timings store, and the workload predictor explains its
+    /// forecasts through the same sink.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.workload_predictor.set_telemetry(sink.clone());
+        self.telemetry = sink;
+        self
     }
 
     /// Turn per-market price prediction off (flat-at-current forecasts).
@@ -150,23 +172,87 @@ impl Policy for SpotWebPolicy {
             }
         };
         let min_alloc = self.optimizer.config().min_allocation;
-        match self
-            .optimizer
-            .optimize(catalog, &forecast, obs.covariance, &self.prev_allocation)
-        {
-            Ok(decision) => {
-                self.prev_allocation = decision.first().to_vec();
-                to_server_counts(catalog, decision.first(), forecast.workload[0], min_alloc)
-            }
-            // On solver failure keep the previous fleet (fail static,
-            // never fail empty).
-            Err(_) => to_server_counts(
-                catalog,
-                &self.prev_allocation,
-                forecast.workload[0],
-                min_alloc,
-            ),
+        let (counts, objective, iterations, solved) =
+            match self
+                .optimizer
+                .optimize(catalog, &forecast, obs.covariance, &self.prev_allocation)
+            {
+                Ok(decision) => {
+                    self.prev_allocation = decision.first().to_vec();
+                    // Wall-clock solve time goes to the (non-deterministic)
+                    // timings store only — never into the trace.
+                    self.telemetry.time("mpo_solve_secs", decision.solve_secs);
+                    self.telemetry.count("spotweb_mpo_solves_total", 1);
+                    let counts = to_server_counts(
+                        catalog,
+                        decision.first(),
+                        forecast.workload[0],
+                        min_alloc,
+                    );
+                    (
+                        counts,
+                        decision.objective,
+                        decision.iterations,
+                        decision.solved,
+                    )
+                }
+                // On solver failure keep the previous fleet (fail static,
+                // never fail empty).
+                Err(_) => {
+                    self.telemetry.count("spotweb_mpo_solve_failures_total", 1);
+                    let counts = to_server_counts(
+                        catalog,
+                        &self.prev_allocation,
+                        forecast.workload[0],
+                        min_alloc,
+                    );
+                    (counts, f64::NAN, 0, false)
+                }
+            };
+        if self.telemetry.is_enabled() {
+            let markets: Vec<MarketEval> = (0..catalog.len())
+                .map(|i| {
+                    let m = catalog.market(i);
+                    let a = self.prev_allocation[i];
+                    let chosen = counts[i] > 0;
+                    // Fixed-precision reasons keep the trace byte-stable
+                    // and human-readable.
+                    let reason = if chosen {
+                        format!("allocated {a:.4} of workload across {} servers", counts[i])
+                    } else if a < min_alloc {
+                        format!("allocation {a:.4} below min {min_alloc:.4}")
+                    } else {
+                        "allocation rounded to zero servers".to_string()
+                    };
+                    MarketEval {
+                        market: i,
+                        name: market_label(m),
+                        price: forecast.prices[0][i],
+                        capacity_rps: m.capacity_rps(),
+                        cost_per_mreq: forecast.prices[0][i] / m.capacity_rps() / 3600.0 * 1e6,
+                        revocation_prob: forecast.failures[0][i],
+                        risk: obs.covariance[(i, i)],
+                        allocation: a,
+                        servers: counts[i],
+                        chosen,
+                        reason,
+                    }
+                })
+                .collect();
+            self.telemetry.emit(TraceEvent::Decision(DecisionRecord {
+                interval: obs.interval as u64,
+                policy: self.name.clone(),
+                observed_rps: obs.current_workload,
+                horizon: h,
+                predicted_workload: forecast.workload.clone(),
+                objective,
+                iterations,
+                solved,
+                total_allocation: self.prev_allocation.iter().sum(),
+                markets,
+            }));
         }
+        counts
     }
 }
 
@@ -459,6 +545,46 @@ mod tests {
             .map(|(i, &n)| n as f64 * catalog.market(i).capacity_rps())
             .sum();
         assert!(cap >= 1000.0, "capacity {cap} must cover the workload");
+    }
+
+    #[test]
+    fn spotweb_policy_emits_decision_records() {
+        let catalog = Catalog::fig5_three_markets();
+        let prices = [2.0, 1.0, 1.2];
+        let failures = [0.04; 3];
+        let cov = Matrix::identity(3).scaled(1e-4);
+        let sink = TelemetrySink::enabled();
+        let mut p = SpotWebPolicy::new(SpotWebConfig::default(), 3).with_telemetry(sink.clone());
+        let mut obs = obs_fixture(&prices, &failures, &cov);
+        for k in 0..3 {
+            obs.interval = k;
+            p.decide(&catalog, &obs);
+        }
+        let records: Vec<DecisionRecord> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match &e.event {
+                TraceEvent::Decision(d) => Some(d.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(records.len(), 3, "one decision record per solve");
+        assert_eq!(sink.counter("spotweb_mpo_solves_total"), 3);
+        let last = records.last().unwrap();
+        assert_eq!(last.interval, 2);
+        assert_eq!(last.markets.len(), 3);
+        assert!(last.total_allocation >= 1.0, "full coverage");
+        // Chosen markets explain their share; rejected ones say why.
+        for m in &last.markets {
+            assert_eq!(m.chosen, m.servers > 0);
+            assert!(!m.reason.is_empty());
+            if !m.chosen {
+                assert!(m.reason.contains("below min") || m.reason.contains("zero servers"));
+            }
+        }
+        // Wall-clock went to the timings store, not the trace.
+        assert!(sink.render_timings_json().contains("mpo_solve_secs"));
+        assert!(!sink.export_jsonl().contains("solve_secs"));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::backend::{Backend, BackendId, BackendState};
 use crate::session::SessionTable;
 use crate::wrr::SmoothWrr;
+use spotweb_telemetry::{DrainRecord, TelemetrySink, TraceEvent};
 
 /// Load-balancer configuration.
 #[derive(Debug, Clone)]
@@ -81,6 +82,9 @@ pub struct LbStats {
     pub migrations: u64,
     /// Sessions lost to abrupt server death.
     pub sessions_lost: u64,
+    /// Requests rejected by the admission controller specifically
+    /// (a subset of `dropped`; the rest had no live backend).
+    pub admission_rejections: u64,
 }
 
 /// The transiency-aware (or vanilla) weighted-round-robin balancer.
@@ -91,6 +95,7 @@ pub struct LoadBalancer {
     sessions: SessionTable,
     admission: AdmissionController,
     stats: LbStats,
+    telemetry: TelemetrySink,
 }
 
 impl LoadBalancer {
@@ -104,7 +109,14 @@ impl LoadBalancer {
             sessions: SessionTable::new(),
             admission,
             stats: LbStats::default(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink; drains, deaths, restores, and
+    /// admission rejections are recorded through it.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Register a backend that must boot first (startup + warm-up).
@@ -245,6 +257,9 @@ impl LoadBalancer {
                 == AdmissionDecision::Drop
             {
                 self.stats.dropped += 1;
+                self.stats.admission_rejections += 1;
+                self.telemetry
+                    .count("spotweb_lb_admission_rejections_total", 1);
                 return RouteOutcome::Dropped;
             }
         }
@@ -306,6 +321,7 @@ impl LoadBalancer {
             }
             None => {
                 self.stats.dropped += 1;
+                self.telemetry.count("spotweb_lb_no_backend_drops_total", 1);
                 RouteOutcome::Dropped
             }
         }
@@ -379,12 +395,31 @@ impl LoadBalancer {
     ) -> WarningReport {
         let deadline = now + warning_secs;
         let capacity_gap_rps = self.backends[backend].capacity_rps;
+        let drain_kind = if warning_secs.is_finite() {
+            "revocation"
+        } else {
+            "decommission"
+        };
         if !self.config.transiency_aware {
             // Vanilla keeps routing; the deadline is tracked by the
             // caller, which will invoke `server_died` at `deadline`.
+            let stayed = self.sessions.count_on(backend);
+            self.telemetry.emit_at(
+                now,
+                TraceEvent::Drain(DrainRecord {
+                    backend,
+                    market: self.backends[backend].market,
+                    kind: drain_kind.to_string(),
+                    warning_secs,
+                    deadline,
+                    sessions_migrated: 0,
+                    sessions_stayed: stayed,
+                    capacity_gap_rps,
+                }),
+            );
             return WarningReport {
                 migrated_sessions: 0,
-                stayed_sessions: self.sessions.count_on(backend),
+                stayed_sessions: stayed,
                 capacity_gap_rps,
             };
         }
@@ -429,6 +464,19 @@ impl LoadBalancer {
             Some(t)
         });
         self.stats.migrations += migrated as u64;
+        self.telemetry.emit_at(
+            now,
+            TraceEvent::Drain(DrainRecord {
+                backend,
+                market: self.backends[backend].market,
+                kind: drain_kind.to_string(),
+                warning_secs,
+                deadline,
+                sessions_migrated: migrated,
+                sessions_stayed: stayed,
+                capacity_gap_rps,
+            }),
+        );
         WarningReport {
             migrated_sessions: migrated,
             stayed_sessions: stayed,
@@ -439,7 +487,7 @@ impl LoadBalancer {
     /// The cloud terminated `backend` (end of warning). Every session
     /// still pinned there is lost; returns how many. In-flight requests
     /// are the simulator's to fail.
-    pub fn server_died(&mut self, backend: BackendId, _now: f64) -> usize {
+    pub fn server_died(&mut self, backend: BackendId, now: f64) -> usize {
         self.backends[backend].state = BackendState::Down;
         self.wrr.set_weight(backend, 0.0);
         let lost = self.sessions.sessions_on(backend);
@@ -448,6 +496,14 @@ impl LoadBalancer {
         }
         self.stats.sessions_lost += lost.len() as u64;
         self.backends[backend].in_flight = 0;
+        self.telemetry.emit_at(
+            now,
+            TraceEvent::BackendDeath {
+                backend,
+                market: self.backends[backend].market,
+                sessions_lost: lost.len(),
+            },
+        );
         lost.len()
     }
 
@@ -467,6 +523,14 @@ impl LoadBalancer {
         b.warm_until = now + warmup_secs;
         let w = b.weight;
         self.wrr.set_weight(backend, w);
+        self.telemetry.emit_at(
+            now,
+            TraceEvent::BackendRestore {
+                backend,
+                market: self.backends[backend].market,
+                warmup_secs,
+            },
+        );
     }
 
     /// Gracefully remove a backend on scale-down: drain with an
@@ -662,6 +726,58 @@ mod tests {
         let report = lb.decommission(a, 1.0);
         assert_eq!(report.stayed_sessions, 0);
         assert_eq!(lb.sessions().count_on(b), 2);
+    }
+
+    #[test]
+    fn admission_rejections_counted_separately_from_no_backend_drops() {
+        // No backends, admission off: drops are *not* admission
+        // rejections.
+        let mut lb = aware();
+        assert_eq!(lb.route(None, 0.0), RouteOutcome::Dropped);
+        assert_eq!(lb.stats().dropped, 1);
+        assert_eq!(lb.stats().admission_rejections, 0);
+
+        // Admission on with zero usable capacity: every drop is an
+        // admission rejection, and the counter reaches telemetry.
+        let mut lb = LoadBalancer::new(LoadBalancerConfig {
+            admission_control: true,
+            max_delay_secs: 0.0,
+            ..LoadBalancerConfig::default()
+        });
+        let sink = TelemetrySink::enabled();
+        lb.set_telemetry(sink.clone());
+        for k in 0..5 {
+            assert_eq!(lb.route(None, k as f64), RouteOutcome::Dropped);
+        }
+        assert_eq!(lb.stats().dropped, 5);
+        assert_eq!(lb.stats().admission_rejections, 5);
+        assert_eq!(sink.counter("spotweb_lb_admission_rejections_total"), 5);
+    }
+
+    #[test]
+    fn warning_emits_drain_record() {
+        let mut lb = aware();
+        let sink = TelemetrySink::enabled();
+        lb.set_telemetry(sink.clone());
+        let a = lb.add_backend_up(1, 100.0);
+        lb.add_backend_up(0, 100.0);
+        lb.route(Some(5), 0.0);
+        lb.route(Some(6), 0.0);
+        let on_a = lb.sessions().count_on(a);
+        lb.revocation_warning(a, 10.0, 120.0);
+        let events = sink.events();
+        let drain = events
+            .iter()
+            .find_map(|e| match &e.event {
+                TraceEvent::Drain(d) => Some(d.clone()),
+                _ => None,
+            })
+            .expect("warning must emit a drain record");
+        assert_eq!(drain.backend, a);
+        assert_eq!(drain.market, 1);
+        assert_eq!(drain.kind, "revocation");
+        assert_eq!(drain.deadline, 130.0);
+        assert_eq!(drain.sessions_migrated + drain.sessions_stayed, on_a);
     }
 
     #[test]

@@ -38,7 +38,8 @@ pub mod wrr;
 
 pub use admission::AdmissionController;
 pub use backend::{Backend, BackendId, BackendState};
-pub use balancer::{LoadBalancer, LoadBalancerConfig, RouteOutcome};
+pub use balancer::{LbStats, LoadBalancer, LoadBalancerConfig, RouteOutcome, WarningReport};
 pub use monitor::{MonitorSnapshot, MonitorWindow};
 pub use session::SessionTable;
+pub use spotweb_telemetry::{TelemetrySink, TraceEvent};
 pub use wrr::SmoothWrr;

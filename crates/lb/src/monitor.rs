@@ -113,9 +113,10 @@ impl MonitorWindow {
     }
 }
 
-// Local helpers: `spotweb-lb` deliberately has no dependencies, so the
-// two tiny statistics it needs are inlined rather than pulling in the
-// linalg crate for them.
+// Local helpers: `spotweb-lb` deliberately depends on nothing but the
+// (itself dependency-free) telemetry crate, so the two tiny statistics
+// it needs are inlined rather than pulling in the linalg crate for
+// them.
 fn spotweb_linalg_mean(sorted: &[f64]) -> f64 {
     if sorted.is_empty() {
         0.0

@@ -9,6 +9,7 @@ use crate::catalog::Catalog;
 use crate::history::MarketHistory;
 use crate::price::SpotPriceProcess;
 use crate::revocation::{RevocationEvent, RevocationModel};
+use spotweb_telemetry::{TelemetrySink, TraceEvent};
 
 /// One decision interval's market observations.
 #[derive(Debug, Clone)]
@@ -26,6 +27,8 @@ pub struct CloudSim {
     prices: SpotPriceProcess,
     revocations: RevocationModel,
     history: MarketHistory,
+    telemetry: TelemetrySink,
+    steps: u64,
 }
 
 impl CloudSim {
@@ -41,6 +44,8 @@ impl CloudSim {
             prices,
             revocations,
             history,
+            telemetry: TelemetrySink::disabled(),
+            steps: 0,
         }
     }
 
@@ -59,7 +64,15 @@ impl CloudSim {
             prices,
             revocations,
             history,
+            telemetry: TelemetrySink::disabled(),
+            steps: 0,
         }
+    }
+
+    /// Attach a telemetry sink; each [`CloudSim::step`] emits a
+    /// `market_tick` trace event and fault hooks are traced.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// The market catalog.
@@ -89,6 +102,13 @@ impl CloudSim {
             failure_probs: self.revocations.probabilities().to_vec(),
         };
         self.history.record(&tick.prices, &tick.failure_probs);
+        self.steps += 1;
+        self.telemetry.count("spotweb_market_steps_total", 1);
+        self.telemetry.emit(TraceEvent::MarketTick {
+            step: self.steps,
+            prices: tick.prices.clone(),
+            failure_probs: tick.failure_probs.clone(),
+        });
         tick
     }
 
@@ -111,7 +131,12 @@ impl CloudSim {
     /// Sample revocation events for this interval given a fleet
     /// (`fleet[i]` = running servers in market `i`).
     pub fn sample_revocations(&mut self, fleet: &[u32]) -> Vec<RevocationEvent> {
-        self.revocations.sample_events(fleet, 1.0)
+        let events = self.revocations.sample_events(fleet, 1.0);
+        if !events.is_empty() {
+            self.telemetry
+                .count("spotweb_market_revocations_total", events.len() as u64);
+        }
+        events
     }
 
     /// Per-request price of market `id` right now (`price / r_i`) —
@@ -128,6 +153,13 @@ impl CloudSim {
     /// [`CloudSim::step`].
     pub fn inject_price_shock(&mut self, market: Option<usize>, multiplier: f64, hold_steps: u32) {
         self.prices.inject_shock(market, multiplier, hold_steps);
+        self.telemetry.emit(TraceEvent::FaultInjected {
+            fault: "price_shock".to_string(),
+            detail: match market {
+                Some(m) => format!("market {m} x{multiplier} for {hold_steps} steps"),
+                None => format!("all spot markets x{multiplier} for {hold_steps} steps"),
+            },
+        });
     }
 
     /// Fault-injection hook: override the provider's revocation warning
@@ -146,6 +178,10 @@ impl CloudSim {
         let mut events = Vec::new();
         for &m in markets {
             events.extend(self.revocations.induce(m, fleet));
+        }
+        if !events.is_empty() {
+            self.telemetry
+                .count("spotweb_market_revocations_total", events.len() as u64);
         }
         events
     }

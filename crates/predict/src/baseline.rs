@@ -14,6 +14,7 @@ use crate::ar::Ar1;
 use crate::confidence::{ConfidenceLevel, ErrorTracker};
 use crate::spline::SplineModel;
 use crate::SeriesPredictor;
+use spotweb_telemetry::{ForecastRecord, TelemetrySink, TraceEvent};
 
 /// Spline + AR point predictor (no CI padding) — the \[1\] baseline.
 #[derive(Debug, Clone)]
@@ -102,6 +103,10 @@ pub struct SpotWebPredictor {
     /// Last one-step-ahead point prediction, matched against the next
     /// observation to record a realized error.
     pending: Option<f64>,
+    /// CI-padded companion of `pending` — what capacity was actually
+    /// provisioned for; reported in forecast telemetry.
+    pending_padded: Option<f64>,
+    telemetry: TelemetrySink,
 }
 
 /// Error-window length for the CI estimate (one week of hourly errors).
@@ -120,6 +125,8 @@ impl SpotWebPredictor {
             errors: ErrorTracker::new(ERROR_WINDOW),
             level,
             pending: None,
+            pending_padded: None,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 
@@ -144,9 +151,27 @@ impl SeriesPredictor for SpotWebPredictor {
     fn observe(&mut self, value: f64) {
         if let Some(pred) = self.pending.take() {
             self.errors.record(value - pred);
+            // Explain the step: what we forecast for this interval,
+            // what we padded capacity to, and what actually arrived.
+            let padded = self.pending_padded.take().unwrap_or(pred);
+            self.telemetry.emit(TraceEvent::Forecast(ForecastRecord {
+                quantity: "workload_rps".to_string(),
+                step: self.inner.observations() as u64,
+                actual: value,
+                predicted: pred,
+                padded,
+                error: value - pred,
+                ci_pad: padded - pred,
+            }));
         }
         self.inner.observe(value);
-        self.pending = Some(self.inner.point(1));
+        let point = self.inner.point(1);
+        self.pending = Some(point);
+        self.pending_padded = Some(self.errors.upper_bound(point, 1, self.level).max(0.0));
+    }
+
+    fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     fn predict(&self, horizon: usize) -> Vec<f64> {
@@ -393,6 +418,32 @@ mod tests {
         }
         let frac = under as f64 / total as f64;
         assert!(frac < 0.10, "under-provisioned {frac} of the time");
+    }
+
+    #[test]
+    fn spotweb_emits_forecast_records() {
+        let mut p = SpotWebPredictor::new();
+        let sink = TelemetrySink::enabled();
+        p.set_telemetry(sink.clone());
+        for t in 0..50 {
+            p.observe(100.0 + 10.0 * (t as f64 * 0.3).sin());
+        }
+        let records: Vec<ForecastRecord> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match &e.event {
+                TraceEvent::Forecast(f) => Some(f.clone()),
+                _ => None,
+            })
+            .collect();
+        // Every observe after the first compares against a pending
+        // forecast.
+        assert_eq!(records.len(), 49);
+        let r = records.last().unwrap();
+        assert_eq!(r.quantity, "workload_rps");
+        assert!((r.error - (r.actual - r.predicted)).abs() < 1e-12);
+        assert!((r.ci_pad - (r.padded - r.predicted)).abs() < 1e-12);
+        assert!(r.ci_pad >= 0.0, "padding never sits below the point");
     }
 
     #[test]

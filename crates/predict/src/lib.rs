@@ -63,6 +63,11 @@ pub trait SeriesPredictor {
     /// Record the value observed for the current interval.
     fn observe(&mut self, value: f64);
 
+    /// Attach a telemetry sink. Predictors that can explain
+    /// themselves (forecast vs. actual vs. CI padding) emit
+    /// `forecast` trace events through it; the default is a no-op.
+    fn set_telemetry(&mut self, _sink: spotweb_telemetry::TelemetrySink) {}
+
     /// Forecast the next `horizon` intervals (index 0 = next interval).
     ///
     /// Implementations must return exactly `horizon` finite,

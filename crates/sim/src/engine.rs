@@ -3,6 +3,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use spotweb_telemetry::TelemetrySink;
+
 /// Events the cluster simulation processes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -90,12 +92,19 @@ pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     seq: u64,
     now: f64,
+    telemetry: TelemetrySink,
 }
 
 impl EventQueue {
     /// Empty queue at time zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attach a telemetry sink; the queue counts scheduled and
+    /// processed events (`spotweb_sim_events_*_total`).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Current simulation time (time of the last popped event).
@@ -130,12 +139,16 @@ impl EventQueue {
             event,
         });
         self.seq += 1;
+        self.telemetry
+            .count("spotweb_sim_events_scheduled_total", 1);
     }
 
     /// Pop the next event, advancing the clock.
     pub fn pop(&mut self) -> Option<(f64, Event)> {
         self.heap.pop().map(|s| {
             self.now = s.time;
+            self.telemetry
+                .count("spotweb_sim_events_processed_total", 1);
             (s.time, s.event)
         })
     }

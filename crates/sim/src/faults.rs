@@ -23,6 +23,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use spotweb_lb::{BackendState, LoadBalancer, LoadBalancerConfig, RouteOutcome};
+use spotweb_telemetry::json::{json_f64, json_string};
+use spotweb_telemetry::{TelemetrySink, TraceEvent};
 
 use crate::engine::{Event, EventQueue};
 use crate::metrics::{BucketStats, LatencyRecorder};
@@ -363,6 +365,11 @@ pub struct ChaosScenario {
     pub seed: u64,
     /// What goes wrong.
     pub plan: FaultPlan,
+    /// Telemetry sink threaded through the balancer and event queue
+    /// (disabled by default). An enabled sink records fault
+    /// injections, drains, deaths, restores, and replacement
+    /// provisioning into one byte-stable trace.
+    pub telemetry: TelemetrySink,
 }
 
 impl Default for ChaosScenario {
@@ -409,6 +416,7 @@ impl Default for ChaosScenario {
             bucket_secs: 60.0,
             seed: 42,
             plan: FaultPlan::new(),
+            telemetry: TelemetrySink::disabled(),
         }
     }
 }
@@ -527,6 +535,7 @@ impl ChaosScenario {
 
         let timeline = self.plan.compile(self.seed, self.duration_secs);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let sink = self.telemetry.clone();
         let mut lb = LoadBalancer::new(LoadBalancerConfig {
             transiency_aware: self.transiency_aware,
             admission_control: true,
@@ -534,6 +543,7 @@ impl ChaosScenario {
             max_delay_secs: 2.0,
             service_secs: self.service_secs,
         });
+        lb.set_telemetry(sink.clone());
         let mut services: Vec<ServiceModel> = Vec::new();
         // Latest death time of each backend slot (flapped backends may
         // resurrect; the completion handler needs the last death to
@@ -546,6 +556,7 @@ impl ChaosScenario {
         }
 
         let mut queue = EventQueue::new();
+        queue.set_telemetry(sink.clone());
         let mut recorder = LatencyRecorder::new(self.bucket_secs, self.duration_secs);
         let mut checker = InvariantChecker::new();
         let mut next_request: u64 = 0;
@@ -574,6 +585,7 @@ impl ChaosScenario {
         }
 
         while let Some((now, event)) = queue.pop() {
+            sink.set_clock(now);
             match event {
                 Event::Arrival { request, session } => {
                     lb.tick(now);
@@ -625,11 +637,14 @@ impl ChaosScenario {
                         Some(d) if d < now && d >= arrived => {
                             recorder.record_drop(arrived);
                             checker.on_dropped_in_flight();
+                            sink.count("spotweb_requests_killed_in_flight_total", 1);
                         }
                         _ => {
                             recorder.record(arrived, now - arrived);
                             lb.complete(backend, None);
                             checker.on_served();
+                            sink.count("spotweb_requests_served_total", 1);
+                            sink.observe("spotweb_request_latency_seconds", now - arrived);
                         }
                     }
                 }
@@ -686,6 +701,40 @@ impl ChaosScenario {
                 }
                 Event::FaultTrigger { fault } => {
                     faults_fired += 1;
+                    if sink.is_enabled() {
+                        let (kind, detail) = match &timeline[fault].kind {
+                            FaultKind::CorrelatedRevocation {
+                                markets,
+                                warning_secs,
+                            } => (
+                                "correlated_revocation",
+                                match warning_secs {
+                                    Some(w) => format!("markets {markets:?} warning {w}s"),
+                                    None => format!("markets {markets:?} default warning"),
+                                },
+                            ),
+                            FaultKind::BackendFlap { target, down_secs } => (
+                                "backend_flap",
+                                format!("backend {target} down {down_secs}s"),
+                            ),
+                            FaultKind::PriceShock { .. } => {
+                                ("price_shock", "ignored (no market in cluster)".to_string())
+                            }
+                            FaultKind::StartupDelay { extra_secs } => {
+                                ("startup_delay", format!("+{extra_secs}s boot"))
+                            }
+                            FaultKind::WarmupStall { extra_secs } => {
+                                ("warmup_stall", format!("+{extra_secs}s warmup"))
+                            }
+                        };
+                        sink.emit_at(
+                            now,
+                            TraceEvent::FaultInjected {
+                                fault: kind.to_string(),
+                                detail,
+                            },
+                        );
+                    }
                     match &timeline[fault].kind {
                         FaultKind::CorrelatedRevocation {
                             markets,
@@ -760,6 +809,7 @@ impl ChaosScenario {
             p99: recorder.overall_percentile(99.0),
             migrated_sessions: migrated,
             lost_sessions: lost,
+            admission_rejections: lb.stats().admission_rejections,
             revocation_warnings: warnings,
             server_deaths: deaths,
             backend_flaps: flaps,
@@ -787,6 +837,15 @@ impl ChaosScenario {
         let startup = self.startup_secs + extra_startup;
         let warmup = self.warmup_secs + extra_warmup;
         let id = lb.add_backend(market, capacity, now, startup, warmup);
+        self.telemetry.emit_at(
+            now,
+            TraceEvent::ReplacementStarted {
+                replaces: dying,
+                backend: id,
+                market,
+                ready_at: now + startup + warmup,
+            },
+        );
         services.push(ServiceModel::new(
             capacity,
             self.service_secs,
@@ -822,6 +881,10 @@ pub struct ChaosReport {
     pub migrated_sessions: u64,
     /// Sessions lost to abrupt deaths.
     pub lost_sessions: u64,
+    /// Requests rejected by overload admission control (a subset of
+    /// `dropped`; distinguishes deliberate shedding from no-capacity
+    /// drops).
+    pub admission_rejections: u64,
     /// Revocation warnings delivered.
     pub revocation_warnings: u32,
     /// Servers that actually died.
@@ -875,6 +938,10 @@ impl ChaosReport {
         ));
         out.push_str(&format!("  \"lost_sessions\": {},\n", self.lost_sessions));
         out.push_str(&format!(
+            "  \"admission_rejections\": {},\n",
+            self.admission_rejections
+        ));
+        out.push_str(&format!(
             "  \"revocation_warnings\": {},\n",
             self.revocation_warnings
         ));
@@ -907,38 +974,6 @@ impl ChaosReport {
         out.push_str("  ]\n}");
         out
     }
-}
-
-/// Render a float as JSON: `null` for non-finite, otherwise the
-/// shortest round-trip decimal with a forced `.0` for integral values.
-fn json_f64(x: f64) -> String {
-    if !x.is_finite() {
-        return "null".to_string();
-    }
-    let s = format!("{x}");
-    if s.contains('.') || s.contains('e') || s.contains('E') {
-        s
-    } else {
-        format!("{s}.0")
-    }
-}
-
-/// Minimal JSON string escaping (the harness only emits ASCII).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// Exponential inter-arrival sample.
@@ -1071,6 +1106,36 @@ mod tests {
             "no warning must hurt more: {} vs {}",
             unwarned.dropped,
             warned.dropped
+        );
+    }
+
+    #[test]
+    fn chaos_run_traces_faults_drains_and_replacements() {
+        let sink = TelemetrySink::enabled();
+        let mut scenario = small(FaultPlan::new().at(
+            60.0,
+            FaultKind::CorrelatedRevocation {
+                markets: vec![1],
+                warning_secs: None,
+            },
+        ));
+        scenario.telemetry = sink.clone();
+        let report = scenario.run();
+        assert!(report.invariants_ok());
+        let kinds: Vec<&str> = sink.events().iter().map(|e| e.event.kind()).collect();
+        for expected in [
+            "fault_injected",
+            "drain",
+            "backend_death",
+            "replacement_started",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected} in {kinds:?}");
+        }
+        assert!(sink.counter("spotweb_sim_events_processed_total") > 0);
+        assert_eq!(
+            report.admission_rejections,
+            sink.counter("spotweb_lb_admission_rejections_total"),
+            "report and metrics registry must agree"
         );
     }
 

@@ -47,3 +47,4 @@ pub use metrics::{BucketStats, LatencyRecorder};
 pub use runner::{run_full_stack, FleetPolicy, RunnerConfig, RunnerReport};
 pub use scenario::{FailoverReport, FailoverScenario};
 pub use service::ServiceModel;
+pub use spotweb_telemetry::{TelemetrySink, TraceEvent};

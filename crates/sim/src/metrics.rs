@@ -1,10 +1,21 @@
 //! Latency and loss metrics.
 //!
 //! Fig. 4(a) is a per-minute boxplot of response latencies around a
-//! revocation. [`LatencyRecorder`] collects raw samples into fixed
-//! time buckets and reduces each to quartiles/percentiles on demand.
+//! revocation. [`LatencyRecorder`] folds samples into one streaming
+//! histogram per fixed time bucket (see
+//! [`spotweb_telemetry::StreamingHistogram`]) and reduces each to
+//! quartiles/percentiles on demand. Unlike the original
+//! store-every-sample design, memory is `O(buckets × hist_buckets)`
+//! — constant in the number of requests — so million-request runs no
+//! longer retain every latency. `count`, `mean`, `min`, and `max` are
+//! exact; percentiles carry the histogram's ~0.5% relative error.
+//!
+//! Edge cases are well-defined: an empty bucket reports NaN
+//! percentiles with zero count, and a single-sample bucket reports
+//! that sample exactly at every percentile (the old sorted-vector
+//! quartile interpolation was NaN-prone here).
 
-use spotweb_linalg::vector;
+use spotweb_telemetry::StreamingHistogram;
 
 /// Summary of one time bucket.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,11 +44,12 @@ pub struct BucketStats {
     pub dropped: u64,
 }
 
-/// Collects latency samples and drop events into time buckets.
+/// Collects latency samples and drop events into time buckets, one
+/// mergeable streaming histogram per bucket.
 #[derive(Debug, Clone)]
 pub struct LatencyRecorder {
     bucket_secs: f64,
-    samples: Vec<Vec<f64>>,
+    hists: Vec<StreamingHistogram>,
     dropped: Vec<u64>,
 }
 
@@ -48,7 +60,7 @@ impl LatencyRecorder {
         let n = (horizon_secs / bucket_secs).ceil() as usize;
         LatencyRecorder {
             bucket_secs,
-            samples: vec![Vec::new(); n],
+            hists: vec![StreamingHistogram::new(); n],
             dropped: vec![0; n],
         }
     }
@@ -58,13 +70,13 @@ impl LatencyRecorder {
             return None;
         }
         let b = (t / self.bucket_secs) as usize;
-        (b < self.samples.len()).then_some(b)
+        (b < self.hists.len()).then_some(b)
     }
 
     /// Record a served request: arrival time and latency.
     pub fn record(&mut self, arrival: f64, latency: f64) {
         if let Some(b) = self.bucket(arrival) {
-            self.samples[b].push(latency);
+            self.hists[b].record(latency);
         }
     }
 
@@ -77,13 +89,13 @@ impl LatencyRecorder {
 
     /// Number of buckets.
     pub fn buckets(&self) -> usize {
-        self.samples.len()
+        self.hists.len()
     }
 
     /// Total served / dropped counts.
     pub fn totals(&self) -> (usize, u64) {
         (
-            self.samples.iter().map(|s| s.len()).sum(),
+            self.hists.iter().map(|h| h.count() as usize).sum(),
             self.dropped.iter().sum(),
         )
     }
@@ -99,29 +111,36 @@ impl LatencyRecorder {
         }
     }
 
-    /// Percentile over *all* samples.
-    pub fn overall_percentile(&self, p: f64) -> f64 {
-        let mut all: Vec<f64> = self.samples.iter().flatten().copied().collect();
-        all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        vector::percentile_sorted(&all, p)
+    /// Merge every bucket's histogram into one (the whole run).
+    pub fn overall_histogram(&self) -> StreamingHistogram {
+        let mut all = StreamingHistogram::new();
+        for h in &self.hists {
+            all.merge(h);
+        }
+        all
     }
 
-    /// Reduce bucket `b` to stats (empty buckets give NaN percentiles,
-    /// zero count).
+    /// Percentile over *all* samples.
+    pub fn overall_percentile(&self, p: f64) -> f64 {
+        self.overall_histogram().percentile(p)
+    }
+
+    /// Reduce bucket `b` to stats. Empty buckets give NaN percentiles
+    /// and zero count; a single-sample bucket reports that sample
+    /// exactly at every percentile.
     pub fn bucket_stats(&self, b: usize) -> BucketStats {
-        let mut s = self.samples[b].clone();
-        s.sort_by(|a, c| a.partial_cmp(c).expect("finite latencies"));
+        let h = &self.hists[b];
         BucketStats {
             start: b as f64 * self.bucket_secs,
-            count: s.len(),
-            mean: vector::mean(&s),
-            min: s.first().copied().unwrap_or(f64::NAN),
-            p25: vector::percentile_sorted(&s, 25.0),
-            p50: vector::percentile_sorted(&s, 50.0),
-            p75: vector::percentile_sorted(&s, 75.0),
-            p90: vector::percentile_sorted(&s, 90.0),
-            p99: vector::percentile_sorted(&s, 99.0),
-            max: s.last().copied().unwrap_or(f64::NAN),
+            count: h.count() as usize,
+            mean: h.mean(),
+            min: h.min(),
+            p25: h.percentile(25.0),
+            p50: h.percentile(50.0),
+            p75: h.percentile(75.0),
+            p90: h.percentile(90.0),
+            p99: h.percentile(99.0),
+            max: h.max(),
             dropped: self.dropped[b],
         }
     }
@@ -179,6 +198,9 @@ mod tests {
         assert!(s.min <= s.p25 && s.p25 <= s.p50 && s.p50 <= s.p75);
         assert!(s.p75 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
         assert!((r.overall_percentile(50.0) - s.p50).abs() < 1e-9);
+        // Streaming percentiles stay within 1% of the exact values.
+        assert!((s.p50 - 0.5).abs() / 0.5 < 0.01);
+        assert!((s.p90 - 0.9).abs() / 0.9 < 0.01);
     }
 
     #[test]
@@ -187,5 +209,41 @@ mod tests {
         assert_eq!(r.drop_fraction(), 0.0);
         assert_eq!(r.totals(), (0, 0));
         assert!(r.bucket_stats(0).p50.is_nan());
+    }
+
+    /// The NaN-prone edge the old sorted-vector quartiles had: a
+    /// single-sample bucket must report that sample exactly at every
+    /// percentile, and an empty bucket must be all-NaN with count 0.
+    #[test]
+    fn single_sample_bucket_is_exact_everywhere() {
+        let mut r = LatencyRecorder::new(60.0, 120.0);
+        r.record(5.0, 0.37);
+        let s = r.bucket_stats(0);
+        assert_eq!(s.count, 1);
+        for v in [s.mean, s.min, s.p25, s.p50, s.p75, s.p90, s.p99, s.max] {
+            assert_eq!(v, 0.37, "single-sample bucket must be exact");
+        }
+        let empty = r.bucket_stats(1);
+        assert_eq!(empty.count, 0);
+        for v in [
+            empty.mean, empty.min, empty.p25, empty.p50, empty.p75, empty.p90, empty.p99, empty.max,
+        ] {
+            assert!(v.is_nan(), "empty bucket stats must be NaN");
+        }
+    }
+
+    /// Memory stays flat as samples pour in (the point of the
+    /// streaming migration).
+    #[test]
+    fn recorder_memory_constant_in_samples() {
+        let mut r = LatencyRecorder::new(60.0, 60.0);
+        for i in 0..10_000 {
+            r.record(1.0, 0.05 + (i % 100) as f64 * 0.01);
+        }
+        let baseline = r.overall_histogram().memory_bytes();
+        for i in 0..100_000 {
+            r.record(1.0, 0.05 + (i % 100) as f64 * 0.01);
+        }
+        assert_eq!(r.overall_histogram().memory_bytes(), baseline);
     }
 }

@@ -26,6 +26,7 @@ use rand_chacha::ChaCha8Rng;
 use spotweb_lb::{BackendState, LoadBalancer, LoadBalancerConfig, MonitorWindow, RouteOutcome};
 use spotweb_market::billing::{BillingModel, CostMeter};
 use spotweb_market::CloudSim;
+use spotweb_telemetry::{TelemetrySink, TraceEvent};
 use spotweb_workload::Trace;
 
 use crate::faults::{FaultKind, FaultPlan, InvariantChecker};
@@ -83,6 +84,13 @@ pub struct RunnerConfig {
     /// is interpreted as a *market* index here: the first alive server
     /// of that market flaps.
     pub faults: Option<FaultPlan>,
+    /// Telemetry sink. Disabled by default (every hook is a single
+    /// branch); when enabled the runner threads the same sink through
+    /// the balancer and the market so the whole stack writes one
+    /// trace: per-interval spans and summaries, fault injections,
+    /// replacement provisioning, drain/death/restore events, and
+    /// request latency/drop metrics.
+    pub telemetry: TelemetrySink,
 }
 
 impl Default for RunnerConfig {
@@ -98,6 +106,7 @@ impl Default for RunnerConfig {
             max_lifetime_secs: None,
             seed: 42,
             faults: None,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 }
@@ -148,7 +157,10 @@ pub fn run_full_stack(
 ) -> RunnerReport {
     let n_markets = cloud.catalog().len();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let sink = config.telemetry.clone();
     let mut lb = LoadBalancer::new(config.lb.clone());
+    lb.set_telemetry(sink.clone());
+    cloud.set_telemetry(sink.clone());
     let mut services: Vec<ServiceModel> = Vec::new();
     // Currently-dead-since time per backend (billing/liveness; cleared
     // when a flapped backend restores).
@@ -199,6 +211,7 @@ pub fn run_full_stack(
         recorder: &mut LatencyRecorder,
         monitor: &mut MonitorWindow,
         checker: &mut InvariantChecker,
+        sink: &TelemetrySink,
     ) {
         while let Some(&std::cmp::Reverse((done_bits, b, arr_bits))) = completions.peek() {
             let done = f64::from_bits(done_bits);
@@ -214,12 +227,15 @@ pub fn run_full_stack(
                     recorder.record_drop(arrived);
                     monitor.record_dropped(arrived);
                     checker.on_dropped_in_flight();
+                    sink.count("spotweb_requests_killed_in_flight_total", 1);
                 }
                 _ => {
                     recorder.record(arrived, done - arrived);
                     monitor.record_served(arrived, done - arrived);
                     lb.complete(b, None);
                     checker.on_served();
+                    sink.count("spotweb_requests_served_total", 1);
+                    sink.observe("spotweb_request_latency_seconds", done - arrived);
                 }
             }
         }
@@ -228,6 +244,8 @@ pub fn run_full_stack(
     for interval in 0..config.intervals {
         let t0 = interval as f64 * config.interval_secs;
         let t_end = t0 + config.interval_secs;
+        sink.set_clock(t0);
+        let span = sink.span_start("interval");
 
         // Apply this interval's compiled faults. Price shocks land
         // before the market steps so the tick already quotes them;
@@ -237,6 +255,41 @@ pub fn run_full_stack(
         let mut forced_revocations: Vec<(Vec<usize>, Option<f64>)> = Vec::new();
         while fault_cursor < timeline.len() && timeline[fault_cursor].at_secs < t_end {
             faults_fired += 1;
+            // Price shocks trace themselves inside the market façade.
+            if sink.is_enabled() {
+                let (fault, detail) = match &timeline[fault_cursor].kind {
+                    FaultKind::PriceShock { .. } => (None, String::new()),
+                    FaultKind::CorrelatedRevocation {
+                        markets,
+                        warning_secs,
+                    } => (
+                        Some("correlated_revocation"),
+                        match warning_secs {
+                            Some(w) => format!("markets {markets:?} warning {w}s"),
+                            None => format!("markets {markets:?} default warning"),
+                        },
+                    ),
+                    FaultKind::StartupDelay { extra_secs } => {
+                        (Some("startup_delay"), format!("+{extra_secs}s boot"))
+                    }
+                    FaultKind::WarmupStall { extra_secs } => {
+                        (Some("warmup_stall"), format!("+{extra_secs}s warmup"))
+                    }
+                    FaultKind::BackendFlap { target, down_secs } => (
+                        Some("backend_flap"),
+                        format!("market {target} down {down_secs}s"),
+                    ),
+                };
+                if let Some(fault) = fault {
+                    sink.emit_at(
+                        timeline[fault_cursor].at_secs.max(t0),
+                        TraceEvent::FaultInjected {
+                            fault: fault.to_string(),
+                            detail,
+                        },
+                    );
+                }
+            }
             match &timeline[fault_cursor].kind {
                 FaultKind::PriceShock {
                     market,
@@ -364,6 +417,15 @@ pub fn run_full_stack(
                         let startup = config.startup_secs + extra_startup;
                         let warmup = config.warmup_secs + extra_warmup;
                         let new_id = lb.add_backend(m, cap_rps, t0, startup, warmup);
+                        sink.emit_at(
+                            t0,
+                            TraceEvent::ReplacementStarted {
+                                replaces: id,
+                                backend: new_id,
+                                market: m,
+                                ready_at: t0 + startup + warmup,
+                            },
+                        );
                         services.push(ServiceModel::new(
                             cap_rps,
                             config.service_secs,
@@ -401,6 +463,15 @@ pub fn run_full_stack(
             let startup = config.startup_secs + extra_startup;
             let warmup = config.warmup_secs + extra_warmup;
             let new_id = lb.add_backend(e.market, cap, t0, startup, warmup);
+            sink.emit_at(
+                t0,
+                TraceEvent::ReplacementStarted {
+                    replaces: id,
+                    backend: new_id,
+                    market: e.market,
+                    ready_at: t0 + startup + warmup,
+                },
+            );
             services.push(ServiceModel::new(
                 cap,
                 config.service_secs,
@@ -427,6 +498,15 @@ pub fn run_full_stack(
                     let startup = config.startup_secs + extra_startup;
                     let warmup = config.warmup_secs + extra_warmup;
                     let new_id = lb.add_backend(m, cap, t0, startup, warmup);
+                    sink.emit_at(
+                        t0,
+                        TraceEvent::ReplacementStarted {
+                            replaces: id,
+                            backend: new_id,
+                            market: m,
+                            ready_at: t0 + startup + warmup,
+                        },
+                    );
                     services.push(ServiceModel::new(
                         cap,
                         config.service_secs,
@@ -500,6 +580,7 @@ pub fn run_full_stack(
                 &mut recorder,
                 &mut monitor,
                 &mut checker,
+                &sink,
             );
             lb.tick(now);
             let session = rng.gen_range(0..config.sessions);
@@ -529,6 +610,7 @@ pub fn run_full_stack(
             &mut recorder,
             &mut monitor,
             &mut checker,
+            &sink,
         );
         // Whatever still runs past the interval end resolves at the top
         // of the next interval (or here if the run is over).
@@ -541,6 +623,7 @@ pub fn run_full_stack(
                 &mut recorder,
                 &mut monitor,
                 &mut checker,
+                &sink,
             );
         }
 
@@ -557,6 +640,31 @@ pub fn run_full_stack(
                 meter.charge(b.market, 1, tick.prices[b.market], billed_secs);
             }
         }
+
+        // End-of-interval rollup. The monitor is cloned so the
+        // snapshot's eviction cannot perturb what the policy reads at
+        // the next interval start — a telemetry-enabled run replays
+        // the exact same decisions as a disabled one.
+        if sink.is_enabled() {
+            let snap = monitor.clone().snapshot(t_end);
+            let stats = recorder.bucket_stats(interval);
+            sink.gauge("spotweb_fleet_size", fleet_sizes[interval] as f64);
+            sink.emit_at(
+                t_end,
+                TraceEvent::IntervalSummary {
+                    interval: interval as u64,
+                    observed_rps,
+                    fleet_size: fleet_sizes[interval],
+                    arrival_rate: snap.arrival_rate,
+                    throughput: snap.throughput,
+                    drop_rate: snap.drop_rate,
+                    p50_latency: stats.p50,
+                    p99_latency: stats.p99,
+                },
+            );
+        }
+        sink.set_clock(t_end);
+        sink.span_end(span, "interval");
     }
 
     checker.check_drained();
@@ -799,6 +907,46 @@ mod tests {
         // The final interval is past the restore; it must be healthy.
         let last = r.buckets.last().expect("buckets");
         assert_eq!(last.dropped, 0, "post-restore interval still dropping");
+    }
+
+    #[test]
+    fn telemetry_neither_perturbs_nor_misses_the_run() {
+        // A telemetry-enabled run must replay the exact same requests
+        // and dollars as a disabled one (the sink only observes), and
+        // the trace must carry the per-interval story.
+        let catalog = Catalog::fig4_testbed();
+        let run = |sink: TelemetrySink| {
+            let config = RunnerConfig {
+                intervals: 4,
+                seed: 9,
+                telemetry: sink,
+                ..RunnerConfig::default()
+            };
+            let mut cloud = CloudSim::new(catalog.clone(), 7, 100);
+            cloud.warm_up(8);
+            let trace = flat_trace(250.0, &config);
+            let mut p = policy(&catalog);
+            let r = run_full_stack(&mut p, &mut cloud, &trace, &config);
+            (r.served, r.dropped, r.cost.to_bits())
+        };
+        let quiet = run(TelemetrySink::disabled());
+        let sink = TelemetrySink::enabled();
+        let traced = run(sink.clone());
+        assert_eq!(quiet, traced, "telemetry must be a pure observer");
+        let events = sink.events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.event.kind()).collect();
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "interval_summary").count(),
+            4
+        );
+        assert_eq!(kinds.iter().filter(|k| **k == "span_start").count(), 4);
+        assert_eq!(kinds.iter().filter(|k| **k == "span_end").count(), 4);
+        assert!(kinds.contains(&"market_tick"));
+        assert!(sink.counter("spotweb_requests_served_total") > 0);
+        // Same seed, same config: the export is byte-identical.
+        let again = TelemetrySink::enabled();
+        run(again.clone());
+        assert_eq!(sink.export_jsonl(), again.export_jsonl());
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! The [`TelemetrySink`] façade: a cheap, cloneable handle threaded
+//! through every crate in the workspace.
+//!
+//! A disabled sink (the default) is a `None` and every call on it is
+//! a no-op — production code paths pay one branch when telemetry is
+//! off. An enabled sink shares one [`Telemetry`] store across all its
+//! clones, so the runner, balancer, market, predictor, and policy all
+//! write into the same trace and metrics registry.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::json::json_f64;
+use crate::metrics::MetricsRegistry;
+use crate::trace::{StampedEvent, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
+
+/// Wall-clock timing aggregate for one named operation. Kept in a
+/// separate store from the trace/metrics because wall-clock values
+/// are non-deterministic and must never contaminate byte-stable
+/// output; they are exported only via [`TelemetrySink::render_timings_json`]
+/// (the `BENCH_telemetry.json` perf baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimingStat {
+    /// Number of timed calls.
+    pub count: u64,
+    /// Total seconds across calls.
+    pub total_secs: f64,
+    /// Fastest call.
+    pub min_secs: f64,
+    /// Slowest call.
+    pub max_secs: f64,
+}
+
+/// The shared telemetry store behind an enabled sink.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Trace ring buffer.
+    pub tracer: Tracer,
+    /// Metrics registry.
+    pub metrics: MetricsRegistry,
+    timings: BTreeMap<String, TimingStat>,
+    clock: f64,
+}
+
+/// Cheap cloneable handle to a shared [`Telemetry`] store; disabled
+/// (all calls no-ops) by default.
+#[derive(Clone, Default)]
+pub struct TelemetrySink {
+    inner: Option<Arc<Mutex<Telemetry>>>,
+}
+
+impl fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inner.is_some() {
+            f.write_str("TelemetrySink(enabled)")
+        } else {
+            f.write_str("TelemetrySink(disabled)")
+        }
+    }
+}
+
+impl TelemetrySink {
+    /// A disabled sink: every call is a no-op.
+    pub fn disabled() -> Self {
+        TelemetrySink { inner: None }
+    }
+
+    /// An enabled sink with the default trace capacity.
+    pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An enabled sink retaining at most `capacity` trace events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TelemetrySink {
+            inner: Some(Arc::new(Mutex::new(Telemetry {
+                tracer: Tracer::with_capacity(capacity),
+                ..Telemetry::default()
+            }))),
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Telemetry) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|m| f(&mut m.lock().expect("telemetry lock poisoned")))
+    }
+
+    /// Set the ambient simulation clock; subsequent [`emit`](Self::emit)
+    /// calls stamp events with this time.
+    pub fn set_clock(&self, t: f64) {
+        self.with(|tel| tel.clock = t);
+    }
+
+    /// Current ambient simulation clock (0.0 when disabled).
+    pub fn clock(&self) -> f64 {
+        self.with(|tel| tel.clock).unwrap_or(0.0)
+    }
+
+    /// Record an event at the ambient clock.
+    pub fn emit(&self, event: TraceEvent) {
+        self.with(|tel| {
+            let t = tel.clock;
+            tel.tracer.record(t, event);
+        });
+    }
+
+    /// Record an event at an explicit sim time (for callers that are
+    /// handed `now` directly, like the load balancer).
+    pub fn emit_at(&self, t: f64, event: TraceEvent) {
+        self.with(|tel| tel.tracer.record(t, event));
+    }
+
+    /// Open a span at the ambient clock; returns its id (0 when
+    /// disabled — safe to pass back to [`span_end`](Self::span_end)).
+    pub fn span_start(&self, name: &str) -> u64 {
+        self.with(|tel| {
+            let t = tel.clock;
+            tel.tracer.span_start(t, name)
+        })
+        .unwrap_or(0)
+    }
+
+    /// Close a span opened with [`span_start`](Self::span_start).
+    pub fn span_end(&self, id: u64, name: &str) {
+        self.with(|tel| {
+            let t = tel.clock;
+            tel.tracer.span_end(t, id, name);
+        });
+    }
+
+    /// Add `delta` to a named counter.
+    pub fn count(&self, name: &str, delta: u64) {
+        self.with(|tel| tel.metrics.counter_add(name, delta));
+    }
+
+    /// Read a named counter (0 when disabled or never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with(|tel| tel.metrics.counter(name)).unwrap_or(0)
+    }
+
+    /// Set a named gauge.
+    pub fn gauge(&self, name: &str, v: f64) {
+        self.with(|tel| tel.metrics.gauge_set(name, v));
+    }
+
+    /// Fold a sample into a named streaming histogram.
+    pub fn observe(&self, name: &str, v: f64) {
+        self.with(|tel| tel.metrics.observe(name, v));
+    }
+
+    /// Record a wall-clock duration for a named operation. Kept out
+    /// of the trace and Prometheus dump (non-deterministic); exported
+    /// only by [`render_timings_json`](Self::render_timings_json).
+    pub fn time(&self, name: &str, secs: f64) {
+        self.with(|tel| {
+            let stat = tel.timings.entry(name.to_string()).or_insert(TimingStat {
+                count: 0,
+                total_secs: 0.0,
+                min_secs: f64::INFINITY,
+                max_secs: f64::NEG_INFINITY,
+            });
+            stat.count += 1;
+            stat.total_secs += secs;
+            stat.min_secs = stat.min_secs.min(secs);
+            stat.max_secs = stat.max_secs.max(secs);
+        });
+    }
+
+    /// Snapshot of the retained trace events, oldest first.
+    pub fn events(&self) -> Vec<StampedEvent> {
+        self.with(|tel| tel.tracer.events().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of trace events evicted by the ring-buffer bound.
+    pub fn dropped_events(&self) -> u64 {
+        self.with(|tel| tel.tracer.dropped()).unwrap_or(0)
+    }
+
+    /// Export the trace as byte-stable JSONL (empty when disabled).
+    pub fn export_jsonl(&self) -> String {
+        self.with(|tel| tel.tracer.export_jsonl())
+            .unwrap_or_default()
+    }
+
+    /// Render the metrics registry in Prometheus text format (empty
+    /// when disabled).
+    pub fn render_prometheus(&self) -> String {
+        self.with(|tel| tel.metrics.render_prometheus())
+            .unwrap_or_default()
+    }
+
+    /// Run `f` against the shared metrics registry (no-op when
+    /// disabled). For read access that needs more than one value.
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
+        self.with(|tel| f(&tel.metrics))
+    }
+
+    /// Render the wall-clock timing aggregates as a JSON object
+    /// (`BENCH_telemetry.json`). This is the only exit for wall-clock
+    /// data; it is deliberately not part of the trace.
+    pub fn render_timings_json(&self) -> String {
+        self.with(|tel| {
+            let mut out = String::from("{\n");
+            let entries: Vec<String> = tel
+                .timings
+                .iter()
+                .map(|(name, s)| {
+                    let mean = if s.count == 0 {
+                        f64::NAN
+                    } else {
+                        s.total_secs / s.count as f64
+                    };
+                    format!(
+                        "  \"{name}\": {{\"count\": {}, \"total_secs\": {}, \
+                         \"mean_secs\": {}, \"min_secs\": {}, \"max_secs\": {}}}",
+                        s.count,
+                        json_f64(s.total_secs),
+                        json_f64(mean),
+                        json_f64(s.min_secs),
+                        json_f64(s.max_secs)
+                    )
+                })
+                .collect();
+            out.push_str(&entries.join(",\n"));
+            out.push_str("\n}\n");
+            out
+        })
+        .unwrap_or_else(|| "{}\n".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_a_no_op() {
+        let sink = TelemetrySink::disabled();
+        sink.set_clock(5.0);
+        sink.count("x", 1);
+        sink.emit(TraceEvent::Note {
+            name: "n".to_string(),
+            detail: String::new(),
+        });
+        assert!(!sink.is_enabled());
+        assert_eq!(sink.counter("x"), 0);
+        assert_eq!(sink.export_jsonl(), "");
+        assert_eq!(sink.render_prometheus(), "");
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let a = TelemetrySink::enabled();
+        let b = a.clone();
+        a.set_clock(10.0);
+        b.count("shared_total", 2);
+        b.emit(TraceEvent::Note {
+            name: "from_b".to_string(),
+            detail: String::new(),
+        });
+        assert_eq!(a.counter("shared_total"), 2);
+        let events = a.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t, 10.0);
+    }
+
+    #[test]
+    fn timings_stay_out_of_trace_and_prometheus() {
+        let sink = TelemetrySink::enabled();
+        sink.time("mpo_solve_secs", 0.002);
+        sink.time("mpo_solve_secs", 0.004);
+        assert_eq!(sink.export_jsonl(), "");
+        assert_eq!(sink.render_prometheus(), "");
+        let json = sink.render_timings_json();
+        assert!(json.contains("\"mpo_solve_secs\""));
+        assert!(json.contains("\"count\": 2"));
+    }
+}

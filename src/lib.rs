@@ -17,6 +17,7 @@
 //! | [`core`] | `spotweb-core` | multi-period portfolio optimizer, baselines, controller |
 //! | [`lb`] | `spotweb-lb` | transiency-aware weighted-round-robin load balancer |
 //! | [`sim`] | `spotweb-sim` | discrete-event web-cluster simulator |
+//! | [`telemetry`] | `spotweb-telemetry` | deterministic tracing, streaming metrics, decision-explain records |
 //!
 //! ## Quickstart
 //!
@@ -66,4 +67,5 @@ pub use spotweb_market as market;
 pub use spotweb_predict as predict;
 pub use spotweb_sim as sim;
 pub use spotweb_solver as solver;
+pub use spotweb_telemetry as telemetry;
 pub use spotweb_workload as workload;

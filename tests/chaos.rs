@@ -59,6 +59,17 @@ fn zero_warning_sheds_load_but_recovers() {
         "admission control must bound queue wait (p99 {:.2} s)",
         report.p99
     );
+    assert!(
+        report.admission_rejections > 0,
+        "aware-mode shedding must be reported as admission rejections, \
+         not lumped into generic drops"
+    );
+    assert!(
+        report.admission_rejections <= report.dropped,
+        "rejections are a subset of drops: {} > {}",
+        report.admission_rejections,
+        report.dropped
+    );
     let last = report.buckets.last().expect("buckets");
     assert_eq!(
         last.dropped, 0,
