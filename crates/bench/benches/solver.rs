@@ -64,6 +64,32 @@ fn bench_warm_start(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_factor_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admm_factor_reuse");
+    group.sample_size(20);
+    let n = 128;
+    let problem = portfolio_qp(n, 11);
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let q2: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..2.0)).collect();
+    group.bench_function("rebuild_128", |b| {
+        b.iter(|| {
+            let mut fresh = problem.clone();
+            fresh.q.copy_from_slice(&q2);
+            let mut solver = AdmmSolver::new(fresh, Settings::default()).expect("setup");
+            std::hint::black_box(solver.solve().iterations)
+        });
+    });
+    group.bench_function("reuse_128", |b| {
+        let mut solver = AdmmSolver::new(problem.clone(), Settings::default()).expect("setup");
+        let warm = solver.solve();
+        b.iter(|| {
+            solver.update_linear_cost(&q2).expect("dims");
+            std::hint::black_box(solver.solve_from(&warm.x, &warm.y).iterations)
+        });
+    });
+    group.finish();
+}
+
 /// A multi-period portfolio QP with churn coupling, for the dense vs
 /// block-structured factorization comparison (EXPERIMENTS.md Fig. 7(b)).
 fn multi_period_qp(markets: usize, horizon: usize) -> QpProblem {
@@ -132,5 +158,11 @@ fn bench_block_structure(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_admm, bench_warm_start, bench_block_structure);
+criterion_group!(
+    benches,
+    bench_admm,
+    bench_warm_start,
+    bench_factor_reuse,
+    bench_block_structure
+);
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures <command> [--seed N] [--intervals N] [--workload wikipedia|vod]
-//!         [--scenario NAME] [--summary] [--out DIR]
+//!         [--scenario NAME] [--summary] [--out DIR] [--jobs J]
 //!
 //! commands:
 //!   fig3        workload traces (Fig. 3a/3b)
@@ -23,8 +23,16 @@
 //!               BENCH_telemetry.json (wall-clock solver timings)
 //!   report      human-readable decision/forecast/drain explanation
 //!               of the same traced replay
-//!   all         everything above (except trace/report)
+//!   sweep       deterministic policy × scenario × seed grid across
+//!               --jobs J workers; prints byte-stable per-run JSON
+//!               summaries, verifies they match a --jobs 1 pass, and
+//!               writes BENCH_sweep.json (wall-clock, speedup,
+//!               warm-vs-cold solver iterations) to --out DIR
+//!   all         everything above (except trace/report/sweep)
 //! ```
+//!
+//! `--jobs` is accepted by every subcommand so wrapper scripts can
+//! pass it uniformly; only `sweep` currently fans out.
 //!
 //! Default output is pretty-printed JSON (machine-readable series);
 //! `--summary` prints the headline numbers as text — the rows quoted in
@@ -45,6 +53,9 @@ struct Args {
     scenario: Option<String>,
     summary: bool,
     out: Option<String>,
+    /// Worker threads for `sweep`; accepted (and currently a no-op) on
+    /// the serial subcommands so scripts can pass it uniformly.
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         scenario: None,
         summary: false,
         out: None,
+        jobs: 1,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -88,6 +100,16 @@ fn parse_args() -> Result<Args, String> {
             "--summary" => out.summary = true,
             "--out" => {
                 out.out = Some(args.next().ok_or("--out needs a directory")?);
+            }
+            "--jobs" => {
+                out.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad jobs: {e}"))?;
+                if out.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -375,6 +397,30 @@ fn run(args: &Args) -> Result<(), String> {
             let traced = telem::run_trace(name, seed)?;
             print!("{}", telem::render_report(&traced));
         }
+        "sweep" => {
+            use spotweb_bench::sweep;
+            let output = sweep::run_command(args.jobs, args.scenario.as_deref(), seed)?;
+            // Deterministic per-run summaries on stdout; wall-clock
+            // and digests on stderr + BENCH_sweep.json only.
+            print!("{}", output.summary_lines);
+            if !output.digests_match {
+                return Err(format!(
+                    "sweep at --jobs {} diverged from --jobs 1 (determinism contract violated)",
+                    args.jobs
+                ));
+            }
+            let dir = std::path::Path::new(args.out.as_deref().unwrap_or("."));
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            let path = dir.join("BENCH_sweep.json");
+            std::fs::write(&path, &output.bench_json)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!(
+                "sweep: digests match at --jobs {} vs --jobs 1; speedup {:.2}x; wrote {}",
+                args.jobs,
+                output.speedup,
+                path.display()
+            );
+        }
         "all" => {
             for cmd in [
                 "fig3",
@@ -397,6 +443,7 @@ fn run(args: &Args) -> Result<(), String> {
                     scenario: args.scenario.clone(),
                     summary: args.summary,
                     out: None,
+                    jobs: args.jobs,
                 };
                 eprintln!("=== {cmd} ===");
                 run(&sub)?;
@@ -411,7 +458,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--summary] [--out DIR]");
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--summary] [--out DIR] [--jobs J]");
             return ExitCode::from(2);
         }
     };

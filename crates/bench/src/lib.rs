@@ -16,6 +16,7 @@
 //! | [`ablations`] | beyond-the-paper sweeps: churn γ, risk α, CI level, horizon |
 //! | [`discussion`] | §7 provider portability: EC2 vs GCP vs Azure profiles |
 //! | [`telem`] | `figures trace`/`report` — full-stack telemetry replay of the chaos scenarios |
+//! | [`sweep`] | `figures sweep` — deterministic parallel policy × scenario × seed grid + `BENCH_sweep.json` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +28,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod sweep;
 pub mod telem;
 
 /// Default seed used across the harness so every figure is

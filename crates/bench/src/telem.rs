@@ -51,9 +51,9 @@ pub struct TraceRun {
 /// glue as the root crate's `PolicyBridge`, duplicated here because
 /// `spotweb-bench` sits below the facade crate in the dependency
 /// graph.
-struct MpoBridge {
-    policy: SpotWebPolicy,
-    catalog: Catalog,
+pub(crate) struct MpoBridge {
+    pub(crate) policy: SpotWebPolicy,
+    pub(crate) catalog: Catalog,
 }
 
 impl FleetPolicy for MpoBridge {
@@ -88,29 +88,27 @@ pub fn normalize_scenario(name: &str) -> String {
     name.replace('_', "-")
 }
 
-/// Replay `scenario` (any of [`TRACE_SCENARIOS`], underscores
-/// accepted) through the full stack with telemetry enabled.
-pub fn run_trace(scenario: &str, seed: u64) -> Result<TraceRun, String> {
-    let name = normalize_scenario(scenario);
-    if !TRACE_SCENARIOS.contains(&name.as_str()) {
-        return Err(format!(
-            "unknown trace scenario {name:?}; known: {TRACE_SCENARIOS:?}"
-        ));
-    }
+/// What a named scenario compiles to: the fault timeline plus the
+/// balancer mode. Shared by `figures trace` and `figures sweep` so
+/// both commands replay exactly the same faults.
+pub struct ScenarioSetup {
+    /// Compiled fault timeline for a `markets`-market catalog.
+    pub plan: FaultPlan,
+    /// Whether the load balancer runs transiency-aware.
+    pub transiency_aware: bool,
+}
 
-    let catalog = Catalog::fig4_testbed();
-    let all_markets: Vec<usize> = (0..catalog.len()).collect();
-    // Four 5-minute control intervals: long enough for the storm to
-    // land mid-run with warmed replacements before the end, short
-    // enough that a CI double-run stays cheap.
-    let interval_secs = 300.0;
-    let intervals = 4;
+/// Compile a **normalized** scenario name (one of [`TRACE_SCENARIOS`])
+/// into its fault plan for a catalog of `markets` markets. Returns
+/// `None` for unknown names — callers produce the helpful error.
+pub fn scenario_setup(name: &str, markets: usize) -> Option<ScenarioSetup> {
+    let all_markets: Vec<usize> = (0..markets).collect();
     // The MPO policy concentrates the fleet wherever it is cheapest,
     // so correlated storms hit every market to guarantee the serving
     // capacity is actually revoked.
     let mut plan = FaultPlan::new();
     let mut transiency_aware = true;
-    match name.as_str() {
+    match name {
         "revocation-storm" | "revocation-storm-vanilla" => {
             plan = plan.at(
                 400.0,
@@ -153,8 +151,33 @@ pub fn run_trace(scenario: &str, seed: u64) -> Result<TraceRun, String> {
                     },
                 );
         }
-        _ => unreachable!("validated against TRACE_SCENARIOS"),
+        _ => return None,
     }
+    Some(ScenarioSetup {
+        plan,
+        transiency_aware,
+    })
+}
+
+/// Replay `scenario` (any of [`TRACE_SCENARIOS`], underscores
+/// accepted) through the full stack with telemetry enabled.
+pub fn run_trace(scenario: &str, seed: u64) -> Result<TraceRun, String> {
+    let name = normalize_scenario(scenario);
+    let catalog = Catalog::fig4_testbed();
+    let Some(setup) = scenario_setup(&name, catalog.len()) else {
+        return Err(format!(
+            "unknown trace scenario {name:?}; known: {TRACE_SCENARIOS:?}"
+        ));
+    };
+    // Four 5-minute control intervals: long enough for the storm to
+    // land mid-run with warmed replacements before the end, short
+    // enough that a CI double-run stays cheap.
+    let interval_secs = 300.0;
+    let intervals = 4;
+    let ScenarioSetup {
+        plan,
+        transiency_aware,
+    } = setup;
 
     let sink = TelemetrySink::enabled();
     let config = RunnerConfig {

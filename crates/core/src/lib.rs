@@ -32,7 +32,7 @@
 //! * [`risk`] — portfolio risk and diversification diagnostics.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod allocation;
 pub mod config;

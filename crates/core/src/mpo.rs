@@ -16,7 +16,7 @@ use spotweb_solver::{AdmmSolver, QpStatus, Settings};
 
 use crate::config::SpotWebConfig;
 use crate::forecast::ForecastBundle;
-use crate::portfolio::PortfolioProblem;
+use crate::portfolio::{build_linear_cost, unpack_plan, PortfolioProblem};
 use crate::Result;
 
 /// Output of one optimization run.
@@ -32,6 +32,12 @@ pub struct PortfolioDecision {
     pub solved: bool,
     /// Wall-clock solve time in seconds (problem build + solve).
     pub solve_secs: f64,
+    /// Whether the solve started from the previous interval's
+    /// primal/dual iterate (vs the zero cold start).
+    pub warm_started: bool,
+    /// Whether the cached KKT factorization was reused (covariance and
+    /// dimensions unchanged — only the linear cost was rebuilt).
+    pub factor_reused: bool,
 }
 
 impl PortfolioDecision {
@@ -46,23 +52,61 @@ impl PortfolioDecision {
     }
 }
 
+/// A solver kept alive across [`MpoOptimizer::optimize`] calls, with
+/// the inputs that shaped its quadratic part and constraints. When the
+/// next call arrives with the same dimensions and an identical
+/// covariance, `P` and `A` are unchanged — only the linear cost `q`
+/// needs rebuilding, and the `O((NH)³)` KKT factorization (plus the
+/// Ruiz equilibration) from construction is reused.
+struct SolverCache {
+    solver: AdmmSolver,
+    covariance: Matrix,
+    markets: usize,
+    horizon: usize,
+}
+
 /// The SpotWeb multi-period optimizer.
-#[derive(Debug, Clone)]
 pub struct MpoOptimizer {
     config: SpotWebConfig,
     settings: Settings,
     /// Previous primal/dual solution for warm starting.
     warm: Option<(Vec<f64>, Vec<f64>)>,
+    /// Warm starting on by default; disable to measure the cold cost.
+    warm_start_enabled: bool,
+    /// Built solver reused while covariance/dimensions are unchanged.
+    cache: Option<SolverCache>,
+}
+
+impl std::fmt::Debug for MpoOptimizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpoOptimizer")
+            .field("config", &self.config)
+            .field("settings", &self.settings)
+            .field("warm", &self.warm.is_some())
+            .field("warm_start_enabled", &self.warm_start_enabled)
+            .field("cached_solver", &self.cache.is_some())
+            .finish()
+    }
+}
+
+impl Clone for MpoOptimizer {
+    /// Clones carry the configuration and warm-start iterate but not
+    /// the built solver (it is rebuilt on the clone's first solve).
+    fn clone(&self) -> Self {
+        MpoOptimizer {
+            config: self.config.clone(),
+            settings: self.settings.clone(),
+            warm: self.warm.clone(),
+            warm_start_enabled: self.warm_start_enabled,
+            cache: None,
+        }
+    }
 }
 
 impl MpoOptimizer {
     /// New optimizer with default solver settings.
     pub fn new(config: SpotWebConfig) -> Self {
-        MpoOptimizer {
-            config,
-            settings: Settings::default(),
-            warm: None,
-        }
+        Self::with_settings(config, Settings::default())
     }
 
     /// Override solver settings (tests, scalability bench).
@@ -71,6 +115,8 @@ impl MpoOptimizer {
             config,
             settings,
             warm: None,
+            warm_start_enabled: true,
+            cache: None,
         }
     }
 
@@ -79,13 +125,35 @@ impl MpoOptimizer {
         &self.config
     }
 
-    /// Drop the warm-start cache (when the catalog or horizon changes).
+    /// Enable or disable warm starting (on by default). Disabling
+    /// forces every solve to the zero cold start — the knob behind the
+    /// warm-vs-cold numbers in `BENCH_sweep.json`.
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.warm_start_enabled = enabled;
+        if !enabled {
+            self.warm = None;
+        }
+    }
+
+    /// Drop the warm-start iterate and the cached solver (when the
+    /// catalog or horizon changes).
     pub fn reset_warm_start(&mut self) {
         self.warm = None;
+        self.cache = None;
     }
 
     /// Run one optimization. `prev_allocation` is the currently
     /// deployed first-interval allocation (zeros at cold start).
+    ///
+    /// Two caches cut the per-interval cost of the receding-horizon
+    /// loop (Fig. 7(b)):
+    /// * **warm start** — the previous interval's primal/dual solution
+    ///   seeds the ADMM iteration via `solve_from` whenever the
+    ///   problem dimensions are unchanged;
+    /// * **factorization reuse** — when the covariance `M` (and the
+    ///   dimensions) are identical to the previous call, `P` and the
+    ///   constraints are identical too, so only the linear cost `q` is
+    ///   rebuilt and the cached KKT factorization is kept.
     pub fn optimize(
         &mut self,
         catalog: &Catalog,
@@ -94,35 +162,74 @@ impl MpoOptimizer {
         prev_allocation: &[f64],
     ) -> Result<PortfolioDecision> {
         let started = Instant::now();
-        let problem =
-            PortfolioProblem::build(catalog, forecast, covariance, prev_allocation, &self.config)?;
-        let nv = problem.qp.num_vars();
-        let mc = problem.qp.num_constraints();
-        // The portfolio QP is block-tridiagonal in the horizon (risk
-        // and constraints are per-period; churn couples neighbours), so
-        // a multi-period instance factors blockwise in O(H·N³). Fall
-        // back to the dense path if the structure check ever fails.
-        let mut solver = if problem.horizon >= 2 {
-            AdmmSolver::with_block_structure(
-                problem.qp.clone(),
-                self.settings.clone(),
-                problem.markets,
-            )
-            .or_else(|_| AdmmSolver::new(problem.qp.clone(), self.settings.clone()))?
+        let n = catalog.len();
+        let h = self.config.horizon;
+
+        let factor_reused = self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.markets == n && c.horizon == h && c.covariance == *covariance);
+        if factor_reused {
+            // Fast path: P and A unchanged — rebuild q only.
+            let q = build_linear_cost(catalog, forecast, prev_allocation, &self.config)?;
+            let cache = self.cache.as_mut().expect("cache checked above");
+            cache.solver.update_linear_cost(&q)?;
         } else {
-            AdmmSolver::new(problem.qp.clone(), self.settings.clone())?
+            let problem = PortfolioProblem::build(
+                catalog,
+                forecast,
+                covariance,
+                prev_allocation,
+                &self.config,
+            )?;
+            // The portfolio QP is block-tridiagonal in the horizon (risk
+            // and constraints are per-period; churn couples neighbours), so
+            // a multi-period instance factors blockwise in O(H·N³). Fall
+            // back to the dense path if the structure check ever fails.
+            let solver = if problem.horizon >= 2 {
+                AdmmSolver::with_block_structure(
+                    problem.qp.clone(),
+                    self.settings.clone(),
+                    problem.markets,
+                )
+                .or_else(|_| AdmmSolver::new(problem.qp.clone(), self.settings.clone()))?
+            } else {
+                AdmmSolver::new(problem.qp.clone(), self.settings.clone())?
+            };
+            self.cache = Some(SolverCache {
+                solver,
+                covariance: covariance.clone(),
+                markets: n,
+                horizon: h,
+            });
+        }
+
+        let solver = &mut self.cache.as_mut().expect("cache populated above").solver;
+        let nv = solver.num_vars();
+        let mc = solver.num_constraints();
+        let warm = if self.warm_start_enabled {
+            self.warm
+                .as_ref()
+                .filter(|(x, y)| x.len() == nv && y.len() == mc)
+        } else {
+            None
         };
-        let sol = match &self.warm {
-            Some((x, y)) if x.len() == nv && y.len() == mc => solver.solve_from(x, y),
-            _ => solver.solve(),
+        let warm_started = warm.is_some();
+        let sol = match warm {
+            Some((x, y)) => solver.solve_from(x, y),
+            None => solver.solve(),
         };
-        self.warm = Some((sol.x.clone(), sol.y.clone()));
+        if self.warm_start_enabled {
+            self.warm = Some((sol.x.clone(), sol.y.clone()));
+        }
         Ok(PortfolioDecision {
-            plan: problem.unpack(&sol.x),
+            plan: unpack_plan(&sol.x, n, h),
             objective: sol.objective,
             iterations: sol.iterations,
             solved: sol.status == QpStatus::Solved,
             solve_secs: started.elapsed().as_secs_f64(),
+            warm_started,
+            factor_reused,
         })
     }
 }
@@ -290,6 +397,80 @@ mod tests {
             d2.iterations,
             d1.iterations
         );
+    }
+
+    #[test]
+    fn factor_cache_hits_when_covariance_unchanged() {
+        let catalog = Catalog::fig5_three_markets();
+        let cov = identity_cov(3);
+        let mut opt = MpoOptimizer::new(SpotWebConfig::default());
+        let d1 = opt
+            .optimize(
+                &catalog,
+                &flat_forecast(&[2.0, 1.0, 1.2], 4),
+                &cov,
+                &[0.0; 3],
+            )
+            .unwrap();
+        assert!(!d1.factor_reused && !d1.warm_started, "first solve is cold");
+        let d2 = opt
+            .optimize(
+                &catalog,
+                &flat_forecast(&[2.1, 0.9, 1.3], 4),
+                &cov,
+                d1.first(),
+            )
+            .unwrap();
+        assert!(d2.factor_reused, "same covariance must reuse the factor");
+        assert!(d2.warm_started);
+        assert!(d2.solved);
+        // A changed covariance forces a rebuild.
+        let d3 = opt
+            .optimize(
+                &catalog,
+                &flat_forecast(&[2.1, 0.9, 1.3], 4),
+                &identity_cov(3).scaled(2.0),
+                d2.first(),
+            )
+            .unwrap();
+        assert!(!d3.factor_reused);
+    }
+
+    #[test]
+    fn factor_cache_matches_full_rebuild() {
+        // The fast path must land on the same allocation (within
+        // solver tolerance) as a from-scratch rebuild.
+        let catalog = Catalog::fig5_three_markets();
+        let cov = identity_cov(3);
+        let f1 = flat_forecast(&[2.0, 1.0, 1.2], 4);
+        let f2 = flat_forecast(&[2.0, 1.4, 0.9], 4);
+
+        let mut cached = MpoOptimizer::new(SpotWebConfig::default());
+        cached.optimize(&catalog, &f1, &cov, &[0.0; 3]).unwrap();
+        cached.set_warm_start(false); // isolate the factor reuse
+        let fast = cached.optimize(&catalog, &f2, &cov, &[0.0; 3]).unwrap();
+        assert!(fast.factor_reused && !fast.warm_started);
+
+        let mut fresh = MpoOptimizer::new(SpotWebConfig::default());
+        let full = fresh.optimize(&catalog, &f2, &cov, &[0.0; 3]).unwrap();
+        assert!(!full.factor_reused);
+
+        for (a, b) in fast.first().iter().zip(full.first()) {
+            assert!((a - b).abs() < 1e-4, "fast {a} vs rebuild {b}");
+        }
+        assert!((fast.objective - full.objective).abs() < 1e-5 * (1.0 + full.objective.abs()));
+    }
+
+    #[test]
+    fn disabling_warm_start_forces_cold_solves() {
+        let catalog = Catalog::fig5_three_markets();
+        let cov = identity_cov(3);
+        let mut opt = MpoOptimizer::new(SpotWebConfig::default());
+        opt.set_warm_start(false);
+        let f = flat_forecast(&[2.0, 1.0, 1.2], 4);
+        let d1 = opt.optimize(&catalog, &f, &cov, &[0.0; 3]).unwrap();
+        let d2 = opt.optimize(&catalog, &f, &cov, d1.first()).unwrap();
+        assert!(!d1.warm_started && !d2.warm_started);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use spotweb_linalg::Matrix;
 use spotweb_market::{Catalog, Market, MarketKind};
 use spotweb_predict::price::MeanRevertingPricePredictor;
 use spotweb_predict::{SeriesPredictor, SpotWebPredictor};
-use spotweb_telemetry::{DecisionRecord, MarketEval, TelemetrySink, TraceEvent};
+use spotweb_telemetry::{names, DecisionRecord, MarketEval, TelemetrySink, TraceEvent};
 
 use crate::allocation::to_server_counts;
 use crate::config::SpotWebConfig;
@@ -66,6 +66,37 @@ pub trait Policy {
 const PRICE_WINDOW: usize = 48;
 
 /// The SpotWeb policy: multi-period optimization over forecast bundles.
+///
+/// # Examples
+///
+/// Decide a fleet for one interval from current market observations:
+///
+/// ```
+/// use spotweb_core::policy::{Policy, PolicyObservation};
+/// use spotweb_core::{SpotWebConfig, SpotWebPolicy};
+/// use spotweb_linalg::Matrix;
+/// use spotweb_market::Catalog;
+///
+/// let catalog = Catalog::fig5_three_markets();
+/// let mut policy = SpotWebPolicy::new(SpotWebConfig::default(), catalog.len());
+/// let obs = PolicyObservation {
+///     interval: 0,
+///     current_workload: 1000.0,          // req/s observed this interval
+///     prices: &[2.0, 1.0, 1.2],          // $/hour per market
+///     failure_probs: &[0.04, 0.04, 0.04],
+///     covariance: &Matrix::identity(3).scaled(1e-4),
+///     oracle: None,
+/// };
+/// let fleet = policy.decide(&catalog, &obs);
+/// assert_eq!(fleet.len(), catalog.len());
+/// // The decided fleet covers the observed workload.
+/// let capacity: f64 = fleet
+///     .iter()
+///     .enumerate()
+///     .map(|(i, &n)| n as f64 * catalog.market(i).capacity_rps())
+///     .sum();
+/// assert!(capacity >= 1000.0);
+/// ```
 pub struct SpotWebPolicy {
     optimizer: MpoOptimizer,
     workload_predictor: Box<dyn SeriesPredictor + Send>,
@@ -131,6 +162,14 @@ impl SpotWebPolicy {
         self
     }
 
+    /// Enable or disable the optimizer's interval-to-interval warm
+    /// start (on by default). Disabling forces every MPO solve to a
+    /// zero cold start — the knob `figures sweep` uses to measure the
+    /// warm-start iteration savings in `BENCH_sweep.json`.
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.optimizer.set_warm_start(enabled);
+    }
+
     /// The executed allocation of the last decision.
     pub fn last_allocation(&self) -> &[f64] {
         &self.prev_allocation
@@ -181,8 +220,26 @@ impl Policy for SpotWebPolicy {
                     self.prev_allocation = decision.first().to_vec();
                     // Wall-clock solve time goes to the (non-deterministic)
                     // timings store only — never into the trace.
-                    self.telemetry.time("mpo_solve_secs", decision.solve_secs);
-                    self.telemetry.count("spotweb_mpo_solves_total", 1);
+                    self.telemetry
+                        .time(names::MPO_SOLVE_SECS, decision.solve_secs);
+                    self.telemetry.count(names::MPO_SOLVES_TOTAL, 1);
+                    // Iterations-to-convergence: the number the
+                    // warm-start fast path exists to shrink.
+                    self.telemetry
+                        .count(names::ADMM_ITERATIONS_TOTAL, decision.iterations as u64);
+                    self.telemetry
+                        .observe(names::ADMM_ITERATIONS_HIST, decision.iterations as f64);
+                    self.telemetry.count(
+                        if decision.warm_started {
+                            names::MPO_WARM_SOLVES_TOTAL
+                        } else {
+                            names::MPO_COLD_SOLVES_TOTAL
+                        },
+                        1,
+                    );
+                    if decision.factor_reused {
+                        self.telemetry.count(names::MPO_FACTOR_REUSE_TOTAL, 1);
+                    }
                     let counts = to_server_counts(
                         catalog,
                         decision.first(),
@@ -199,7 +256,7 @@ impl Policy for SpotWebPolicy {
                 // On solver failure keep the previous fleet (fail static,
                 // never fail empty).
                 Err(_) => {
-                    self.telemetry.count("spotweb_mpo_solve_failures_total", 1);
+                    self.telemetry.count(names::MPO_SOLVE_FAILURES_TOTAL, 1);
                     let counts = to_server_counts(
                         catalog,
                         &self.prev_allocation,

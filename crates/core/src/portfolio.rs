@@ -74,7 +74,6 @@ impl PortfolioProblem {
         }
 
         let nv = n * h;
-        let interval_hours = config.interval_secs / 3600.0;
 
         // ---- Quadratic part P (in ½xᵀPx convention → factor 2). ----
         let mut p = Matrix::zeros(nv, nv);
@@ -103,27 +102,7 @@ impl PortfolioProblem {
         }
 
         // ---- Linear part q. ----
-        let mut q = vec![0.0; nv];
-        for tau in 0..h {
-            let lam = forecast.workload[tau];
-            for (i, market) in catalog.markets().iter().enumerate() {
-                let r = market.capacity_rps();
-                let per_request_cost = forecast.prices[tau][i] / r;
-                let provisioning = lam * per_request_cost * interval_hours;
-                let sla = config.penalty_per_request
-                    * forecast.failures[tau][i]
-                    * lam
-                    * config.long_running_fraction;
-                q[tau * n + i] = provisioning + sla;
-            }
-        }
-        // Churn cross-term with the fixed previous allocation:
-        // γ(A(0) − A_prev)² contributes −2γ·A_prev to q(0).
-        if g > 0.0 {
-            for i in 0..n {
-                q[i] -= 2.0 * g * prev_allocation[i];
-            }
-        }
+        let q = build_linear_cost(catalog, forecast, prev_allocation, config)?;
 
         // ---- Constraints. ----
         // Rows: per-τ per-market boxes (N·H), then per-τ budgets (H).
@@ -159,16 +138,84 @@ impl PortfolioProblem {
     /// Split a flat QP solution into per-interval allocation rows
     /// (`result[τ][i] = A[τ][i]`), clamping solver jitter into bounds.
     pub fn unpack(&self, x: &[f64]) -> Vec<Vec<f64>> {
-        assert_eq!(x.len(), self.markets * self.horizon);
-        (0..self.horizon)
-            .map(|tau| {
-                x[tau * self.markets..(tau + 1) * self.markets]
-                    .iter()
-                    .map(|v| v.max(0.0))
-                    .collect()
-            })
-            .collect()
+        unpack_plan(x, self.markets, self.horizon)
     }
+}
+
+/// Split a flat `N·H` solution vector into per-interval allocation
+/// rows (`result[τ][i] = A[τ][i]`), clamping solver jitter below zero
+/// into bounds. Free-standing so the optimizer's factor-reuse fast
+/// path (which skips building a [`PortfolioProblem`]) can unpack too.
+pub fn unpack_plan(x: &[f64], markets: usize, horizon: usize) -> Vec<Vec<f64>> {
+    assert_eq!(x.len(), markets * horizon);
+    (0..horizon)
+        .map(|tau| {
+            x[tau * markets..(tau + 1) * markets]
+                .iter()
+                .map(|v| v.max(0.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Assemble the linear cost `q` alone — the part of the QP that
+/// changes *every* interval (fresh price/workload/failure forecasts
+/// and the churn cross-term with the currently running allocation),
+/// while `P` and the constraint matrix change only when the covariance
+/// or the configuration do. [`PortfolioProblem::build`] calls this;
+/// the optimizer's factor-reuse fast path rebuilds only this vector
+/// and feeds it to the cached solver via `update_linear_cost`.
+pub fn build_linear_cost(
+    catalog: &Catalog,
+    forecast: &ForecastBundle,
+    prev_allocation: &[f64],
+    config: &SpotWebConfig,
+) -> Result<Vec<f64>> {
+    forecast.validate().map_err(CoreError::Dimension)?;
+    let n = catalog.len();
+    let h = config.horizon;
+    if forecast.horizon() < h {
+        return Err(CoreError::Dimension(format!(
+            "forecast horizon {} < config horizon {h}",
+            forecast.horizon()
+        )));
+    }
+    if forecast.markets() != n {
+        return Err(CoreError::Dimension(format!(
+            "forecast markets {} != catalog {n}",
+            forecast.markets()
+        )));
+    }
+    if prev_allocation.len() != n {
+        return Err(CoreError::Dimension(
+            "prev_allocation must have one entry per market".into(),
+        ));
+    }
+
+    let interval_hours = config.interval_secs / 3600.0;
+    let mut q = vec![0.0; n * h];
+    for tau in 0..h {
+        let lam = forecast.workload[tau];
+        for (i, market) in catalog.markets().iter().enumerate() {
+            let r = market.capacity_rps();
+            let per_request_cost = forecast.prices[tau][i] / r;
+            let provisioning = lam * per_request_cost * interval_hours;
+            let sla = config.penalty_per_request
+                * forecast.failures[tau][i]
+                * lam
+                * config.long_running_fraction;
+            q[tau * n + i] = provisioning + sla;
+        }
+    }
+    // Churn cross-term with the fixed previous allocation:
+    // γ(A(0) − A_prev)² contributes −2γ·A_prev to q(0).
+    let g = config.churn_gamma;
+    if g > 0.0 {
+        for i in 0..n {
+            q[i] -= 2.0 * g * prev_allocation[i];
+        }
+    }
+    Ok(q)
 }
 
 #[cfg(test)]

@@ -27,9 +27,14 @@
 //!   zero-warning kills, backend flaps, price shocks, startup/warmup
 //!   stalls), the invariant-audited [`faults::ChaosScenario`] runner,
 //!   and the named chaos scenarios the regression suite replays.
+//! * [`sweep`] — the deterministic parallel sweep engine: fan a grid
+//!   of independent (policy, scenario, seed) runs across
+//!   `std::thread::scope` workers with byte-identical output at any
+//!   jobs count (seed-per-run, stable collection order, no shared
+//!   state — see the module docs for the determinism contract).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod faults;
@@ -37,6 +42,7 @@ pub mod metrics;
 pub mod runner;
 pub mod scenario;
 pub mod service;
+pub mod sweep;
 
 pub use engine::{Event, EventQueue};
 pub use faults::{
@@ -48,3 +54,4 @@ pub use runner::{run_full_stack, FleetPolicy, RunnerConfig, RunnerReport};
 pub use scenario::{FailoverReport, FailoverScenario};
 pub use service::ServiceModel;
 pub use spotweb_telemetry::{TelemetrySink, TraceEvent};
+pub use sweep::{parallel_map, run_sweep, RunSummary, SweepResult};

@@ -1,0 +1,297 @@
+//! Deterministic parallel sweep engine.
+//!
+//! The paper's evaluation (§6) is a grid of *policy × scenario × seed*
+//! runs. Each run is independent: it owns its seeded RNG, its own
+//! [`TelemetrySink`](crate::TelemetrySink), its own cloud simulator —
+//! nothing is shared, so the grid parallelizes embarrassingly. What
+//! must **not** change with parallelism is the output:
+//!
+//! # Determinism contract
+//!
+//! * **Seed per run** — every run derives all randomness from its own
+//!   spec (scenario + seed). No run reads a shared RNG, the ambient
+//!   clock, or another run's state.
+//! * **Stable collection order** — results are written into a slot
+//!   indexed by the run's position in the input grid, and returned in
+//!   that order. Which *worker* executes a run is scheduling noise;
+//!   where its result lands is not.
+//! * **No shared mutable state** — workers communicate only through
+//!   their dedicated result slot.
+//!
+//! Under this contract the rendered output of a sweep is byte-identical
+//! at any `jobs` count — the property `figures sweep` checks on every
+//! invocation and the golden test `tests/sweep.rs` locks in.
+//!
+//! Wall-clock timings are collected *around* each run (for
+//! `BENCH_sweep.json`) but live outside [`RunSummary`], so they can
+//! never leak into the deterministic output — the same quarantine the
+//! telemetry crate applies to solver timings.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use spotweb_telemetry::json::{json_f64, json_string};
+
+/// Map `f` over `tasks` on up to `jobs` worker threads, returning the
+/// results **in input order** regardless of which worker ran what.
+///
+/// `jobs == 1` (or a single task) runs inline with no threads. Workers
+/// pull tasks from a shared atomic cursor — run `i`'s result always
+/// lands in slot `i`, so the output is independent of scheduling. If
+/// `f` panics on any task the panic propagates out of the scope.
+///
+/// # Examples
+///
+/// ```
+/// use spotweb_sim::sweep::parallel_map;
+///
+/// let squares = parallel_map(4, (0u64..32).collect(), |i, n| {
+///     assert_eq!(i as u64, n); // index matches input order
+///     n * n
+/// });
+/// // Results are in input order, whatever the worker interleaving.
+/// assert_eq!(squares, parallel_map(1, (0u64..32).collect(), |_, n| n * n));
+/// ```
+pub fn parallel_map<T, R, F>(jobs: usize, tasks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = tasks.len();
+    let workers = jobs.max(1).min(n.max(1));
+    if workers <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    // Task slots (taken once each) and result slots (written once
+    // each), both indexed by input position.
+    let task_slots: Vec<Mutex<Option<T>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let result_slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = task_slots[i]
+                    .lock()
+                    .expect("sweep task slot")
+                    .take()
+                    .expect("each task is taken exactly once");
+                let result = f(i, task);
+                *result_slots[i].lock().expect("sweep result slot") = Some(result);
+            });
+        }
+    });
+
+    result_slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep result slot")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+/// The deterministic per-run record of a sweep: what one
+/// (policy, scenario, seed) simulation did. Contains **no wall-clock
+/// data** — rendering a `RunSummary` is a pure function of the run's
+/// spec, so sweeps at different `--jobs` counts (or on different
+/// machines) produce byte-identical summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Policy name (e.g. `spotweb` or `reactive`).
+    pub policy: String,
+    /// Chaos scenario the run replayed.
+    pub scenario: String,
+    /// Seed all of the run's randomness derived from.
+    pub seed: u64,
+    /// Requests served.
+    pub served: u64,
+    /// Requests dropped.
+    pub dropped: u64,
+    /// Dropped / offered.
+    pub drop_fraction: f64,
+    /// Median request latency (seconds).
+    pub p50: f64,
+    /// 99th-percentile request latency (seconds).
+    pub p99: f64,
+    /// Provisioning spend over the run ($).
+    pub cost: f64,
+    /// Revocation warnings delivered.
+    pub revocations: u64,
+    /// Sessions the balancer migrated off draining backends.
+    pub migrated_sessions: u64,
+    /// MPO solves performed (0 for non-optimizing policies).
+    pub mpo_solves: u64,
+    /// Cumulative ADMM iterations across those solves.
+    pub admm_iterations: u64,
+}
+
+impl RunSummary {
+    /// Grid label `policy/scenario/seed` used in logs and BENCH output.
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.policy, self.scenario, self.seed)
+    }
+
+    /// Render as one byte-stable JSON object (single line, fixed key
+    /// order, canonical number formatting via
+    /// [`spotweb_telemetry::json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"policy\":{},\"scenario\":{},\"seed\":{},",
+                "\"served\":{},\"dropped\":{},\"drop_fraction\":{},",
+                "\"p50\":{},\"p99\":{},\"cost\":{},",
+                "\"revocations\":{},\"migrated_sessions\":{},",
+                "\"mpo_solves\":{},\"admm_iterations\":{}}}"
+            ),
+            json_string(&self.policy),
+            json_string(&self.scenario),
+            self.seed,
+            self.served,
+            self.dropped,
+            json_f64(self.drop_fraction),
+            json_f64(self.p50),
+            json_f64(self.p99),
+            json_f64(self.cost),
+            self.revocations,
+            self.migrated_sessions,
+            self.mpo_solves,
+            self.admm_iterations,
+        )
+    }
+}
+
+/// One sweep run's outcome: the deterministic summary plus the
+/// wall-clock seconds the run took (quarantined here, outside
+/// [`RunSummary`], so timing can never perturb deterministic output).
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Deterministic per-run record.
+    pub summary: RunSummary,
+    /// Wall-clock duration of this run (seconds) — BENCH data only.
+    pub wall_secs: f64,
+}
+
+/// Run every spec in `specs` through `run` on up to `jobs` workers,
+/// timing each run, and return the results in input order.
+///
+/// `run` receives the run's grid index and spec; it must derive all
+/// of the run's state from the spec alone (see the module-level
+/// determinism contract).
+pub fn run_sweep<T, F>(jobs: usize, specs: Vec<T>, run: F) -> Vec<SweepResult>
+where
+    T: Send,
+    F: Fn(usize, T) -> RunSummary + Sync,
+{
+    parallel_map(jobs, specs, |i, spec| {
+        let started = Instant::now();
+        let summary = run(i, spec);
+        SweepResult {
+            summary,
+            wall_secs: started.elapsed().as_secs_f64(),
+        }
+    })
+}
+
+/// FNV-1a 64-bit digest (hex) over the rendered summaries — the cheap
+/// fingerprint `figures sweep` compares across `--jobs` counts to
+/// prove byte-identical output.
+pub fn digest(summaries: &[RunSummary]) -> String {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for s in summaries {
+        for b in s.to_json().as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash ^= u64::from(b'\n');
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(seed: u64) -> RunSummary {
+        RunSummary {
+            policy: "p".into(),
+            scenario: "s".into(),
+            seed,
+            served: 100 * seed,
+            dropped: seed,
+            drop_fraction: seed as f64 / 100.0,
+            p50: 0.05,
+            p99: 0.2,
+            cost: 1.25,
+            revocations: 2,
+            migrated_sessions: 3,
+            mpo_solves: 4,
+            admm_iterations: 200,
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let serial = parallel_map(1, (0..100u64).collect(), |_, n| n * 3);
+        let parallel = parallel_map(7, (0..100u64).collect(), |_, n| n * 3);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[41], 123);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        let empty: Vec<u64> = parallel_map(4, Vec::<u64>::new(), |_, n| n);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(4, vec![9u64], |i, n| n + i as u64), vec![9]);
+    }
+
+    #[test]
+    fn run_sweep_is_deterministic_across_job_counts() {
+        let run = |_: usize, seed: u64| summary(seed);
+        let one = run_sweep(1, (0..16).collect(), run);
+        let four = run_sweep(4, (0..16).collect(), run);
+        let s1: Vec<RunSummary> = one.into_iter().map(|r| r.summary).collect();
+        let s4: Vec<RunSummary> = four.into_iter().map(|r| r.summary).collect();
+        assert_eq!(s1, s4);
+        assert_eq!(digest(&s1), digest(&s4));
+        let j1: Vec<String> = s1.iter().map(RunSummary::to_json).collect();
+        let j4: Vec<String> = s4.iter().map(RunSummary::to_json).collect();
+        assert_eq!(j1, j4, "rendered summaries must be byte-identical");
+    }
+
+    #[test]
+    fn json_is_single_line_and_stable() {
+        let s = summary(7);
+        let j = s.to_json();
+        assert!(!j.contains('\n'));
+        assert_eq!(j, s.clone().to_json());
+        assert!(j.starts_with("{\"policy\":\"p\""));
+        assert!(j.contains("\"drop_fraction\":0.07"));
+    }
+
+    #[test]
+    fn digest_distinguishes_different_grids() {
+        let a = [summary(1), summary(2)];
+        let b = [summary(1), summary(3)];
+        assert_ne!(digest(&a), digest(&b));
+        // Order matters: the digest fingerprints the collection order.
+        let swapped = [summary(2), summary(1)];
+        assert_ne!(digest(&a), digest(&swapped));
+    }
+}

@@ -29,7 +29,7 @@
 // access patterns (L[(i,k)]·x[k], row/col scalings) read far clearer
 // with indices than with zipped iterator chains.
 #![allow(clippy::needless_range_loop)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod admm;
 pub mod pgd;

@@ -34,6 +34,7 @@
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod names;
 pub mod records;
 pub mod sink;
 pub mod trace;

@@ -1,0 +1,43 @@
+//! Canonical metric names shared across the workspace.
+//!
+//! Every producer and consumer of a metric references the same
+//! constant, so a renamed counter is a compile error rather than a
+//! silently forked time series. Names follow the Prometheus
+//! convention: `snake_case`, `_total` suffix on monotonic counters.
+
+/// Counter: successful MPO solves (one per [`decide`] call that
+/// reached the solver).
+///
+/// [`decide`]: https://docs.rs/spotweb-core
+pub const MPO_SOLVES_TOTAL: &str = "spotweb_mpo_solves_total";
+
+/// Counter: MPO solves that returned an error (the policy fails
+/// static, keeping the previous fleet).
+pub const MPO_SOLVE_FAILURES_TOTAL: &str = "spotweb_mpo_solve_failures_total";
+
+/// Counter: cumulative ADMM iterations across all MPO solves —
+/// `iterations_total / solves_total` is the mean cost per solve, the
+/// number the warm-start fast path is meant to shrink.
+pub const ADMM_ITERATIONS_TOTAL: &str = "spotweb_admm_iterations_total";
+
+/// Counter: solves that started from the previous interval's
+/// primal/dual iterate (the receding-horizon warm-start path).
+pub const MPO_WARM_SOLVES_TOTAL: &str = "spotweb_mpo_warm_solves_total";
+
+/// Counter: solves that cold-started from the zero iterate (first
+/// interval, or after [`reset_warm_start`]).
+///
+/// [`reset_warm_start`]: https://docs.rs/spotweb-core
+pub const MPO_COLD_SOLVES_TOTAL: &str = "spotweb_mpo_cold_solves_total";
+
+/// Counter: solves that reused the cached KKT factorization because
+/// the market covariance (and problem dimensions) were unchanged —
+/// only the linear cost was rebuilt.
+pub const MPO_FACTOR_REUSE_TOTAL: &str = "spotweb_mpo_factor_reuse_total";
+
+/// Histogram: ADMM iterations-to-convergence per solve.
+pub const ADMM_ITERATIONS_HIST: &str = "spotweb_admm_iterations";
+
+/// Timing (wall-clock store only, never the deterministic trace):
+/// seconds per MPO solve including problem build.
+pub const MPO_SOLVE_SECS: &str = "mpo_solve_secs";

@@ -179,7 +179,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use rand::Rng;
 
-        /// Acceptable size arguments for [`vec`].
+        /// Acceptable size arguments for [`vec()`].
         pub trait IntoSizeRange {
             /// Half-open `[lo, hi)` length bounds.
             fn bounds(&self) -> (usize, usize);
