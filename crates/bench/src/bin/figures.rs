@@ -28,7 +28,11 @@
 //!               summaries, verifies they match a --jobs 1 pass, and
 //!               writes BENCH_sweep.json (wall-clock, speedup,
 //!               warm-vs-cold solver iterations) to --out DIR
-//!   all         everything above (except trace/report/sweep)
+//!   lint        run the spotweb-lint determinism analyzer over the
+//!               workspace; with --out DIR also writes the byte-stable
+//!               lint_report.json. Non-zero exit on unsuppressed
+//!               findings (same engine as `cargo run -p spotweb-lint`)
+//!   all         everything above (except trace/report/sweep/lint)
 //! ```
 //!
 //! `--jobs` is accepted by every subcommand so wrapper scripts can
@@ -421,6 +425,29 @@ fn run(args: &Args) -> Result<(), String> {
                 path.display()
             );
         }
+        "lint" => {
+            let cwd = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+            let root = spotweb_lint::find_workspace_root(&cwd)
+                .ok_or("no workspace Cargo.toml above the current directory")?;
+            let report = spotweb_lint::lint_workspace(&root, &spotweb_lint::LintConfig::spotweb())
+                .map_err(|e| format!("lint walk failed: {e}"))?;
+            print!("{}", report.render_human());
+            if let Some(dir) = &args.out {
+                let dir = std::path::Path::new(dir);
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("create {}: {e}", dir.display()))?;
+                let path = dir.join("lint_report.json");
+                std::fs::write(&path, report.to_json())
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                eprintln!("wrote {}", path.display());
+            }
+            if !report.is_clean() {
+                return Err(format!(
+                    "{} unsuppressed lint finding(s); see diagnostics above",
+                    report.findings.len()
+                ));
+            }
+        }
         "all" => {
             for cmd in [
                 "fig3",
@@ -458,7 +485,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--summary] [--out DIR] [--jobs J]");
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|lint|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--summary] [--out DIR] [--jobs J]");
             return ExitCode::from(2);
         }
     };

@@ -161,14 +161,14 @@ pub fn run_fig7b(market_counts: &[usize], horizons: &[usize], repeats: usize, se
                 times.push(started.elapsed().as_secs_f64());
                 prev = d.first().to_vec();
             }
-            times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            times.sort_by(f64::total_cmp);
             cells.push(Fig7bCell {
                 markets: n,
                 horizon: h,
                 variables: n * h,
                 min_secs: times[0],
                 median_secs: times[times.len() / 2],
-                max_secs: *times.last().unwrap(),
+                max_secs: times[times.len() - 1],
             });
         }
     }

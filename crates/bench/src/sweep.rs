@@ -61,7 +61,8 @@ pub fn build_grid(scenario: Option<&str>, seed: u64) -> Result<Vec<SweepSpec>, S
             let name = normalize_scenario(raw);
             if !TRACE_SCENARIOS.contains(&name.as_str()) {
                 return Err(format!(
-                    "unknown sweep scenario {name:?}; known: {TRACE_SCENARIOS:?}"
+                    "unknown sweep scenario '{name}'; known: {}",
+                    TRACE_SCENARIOS.join(", ")
                 ));
             }
             vec![name]

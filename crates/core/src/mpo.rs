@@ -8,6 +8,7 @@
 //! from the previous solution, which is why re-optimizing every
 //! interval stays cheap (Fig. 7(b)).
 
+// spotweb-lint: allow(wall-clock-quarantine) -- solve wall-time feeds the quarantined MPO_SOLVE_SECS store; never enters decision logic
 use std::time::Instant;
 
 use spotweb_linalg::Matrix;
@@ -161,6 +162,7 @@ impl MpoOptimizer {
         covariance: &Matrix,
         prev_allocation: &[f64],
     ) -> Result<PortfolioDecision> {
+        // spotweb-lint: allow(wall-clock-quarantine) -- solve wall-time feeds the quarantined MPO_SOLVE_SECS store; never enters decision logic
         let started = Instant::now();
         let n = catalog.len();
         let h = self.config.horizon;

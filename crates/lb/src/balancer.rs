@@ -18,7 +18,7 @@ use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::backend::{Backend, BackendId, BackendState};
 use crate::session::SessionTable;
 use crate::wrr::SmoothWrr;
-use spotweb_telemetry::{DrainRecord, TelemetrySink, TraceEvent};
+use spotweb_telemetry::{names, DrainRecord, TelemetrySink, TraceEvent};
 
 /// Load-balancer configuration.
 #[derive(Debug, Clone)]
@@ -259,7 +259,7 @@ impl LoadBalancer {
                 self.stats.dropped += 1;
                 self.stats.admission_rejections += 1;
                 self.telemetry
-                    .count("spotweb_lb_admission_rejections_total", 1);
+                    .count(names::LB_ADMISSION_REJECTIONS_TOTAL, 1);
                 return RouteOutcome::Dropped;
             }
         }
@@ -321,7 +321,7 @@ impl LoadBalancer {
             }
             None => {
                 self.stats.dropped += 1;
-                self.telemetry.count("spotweb_lb_no_backend_drops_total", 1);
+                self.telemetry.count(names::LB_NO_BACKEND_DROPS_TOTAL, 1);
                 RouteOutcome::Dropped
             }
         }

@@ -8,16 +8,19 @@
 //! front-end tier is stateless — session state lives in the back-end
 //! tier — so re-pinning is safe (§4.4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::backend::BackendId;
 
 /// Session-id → backend assignment table.
+///
+/// Keyed with `BTreeMap` so migration scans and any rendered dump walk
+/// sessions in a deterministic order regardless of hasher seed.
 #[derive(Debug, Clone, Default)]
 pub struct SessionTable {
-    assignments: HashMap<u64, BackendId>,
+    assignments: BTreeMap<u64, BackendId>,
     /// Reverse index: backend → session count (cheap migration scans).
-    per_backend: HashMap<BackendId, Vec<u64>>,
+    per_backend: BTreeMap<BackendId, Vec<u64>>,
 }
 
 impl SessionTable {

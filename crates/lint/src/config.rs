@@ -1,0 +1,60 @@
+//! Analyzer configuration: the quarantine and renderer registries.
+//!
+//! Both registries are lists of *module-path prefixes* (segment-aware,
+//! see [`crate::files::module_matches`]). The checked-in defaults for
+//! this workspace live in [`LintConfig::spotweb`]; fixture and unit
+//! tests build their own configs.
+
+/// Registries consulted by the path-scoped rules.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Modules allowed to read the wall clock (`Instant`/`SystemTime`).
+    /// Their timings must only ever feed quarantined `BENCH_*` outputs,
+    /// never the byte-stable traces, reports, or goldens.
+    pub wall_clock_quarantine: Vec<String>,
+    /// Modules that render byte-stable output (JSON/JSONL/Prometheus
+    /// text or inputs feeding it); hash-ordered collections and
+    /// non-canonical float formatting are banned here.
+    pub renderers: Vec<String>,
+    /// Crate whose files define the telemetry API itself and are
+    /// therefore exempt from `telemetry-name-constants`.
+    pub telemetry_crate: String,
+}
+
+impl LintConfig {
+    /// The registry for this workspace — the single source of truth
+    /// that `spotweb-lint`, `figures lint`, and `tests/lint.rs` share.
+    ///
+    /// To quarantine a new timing module or register a new renderer,
+    /// add its module path here (and say why in DESIGN.md's rule
+    /// catalog).
+    pub fn spotweb() -> LintConfig {
+        LintConfig {
+            wall_clock_quarantine: vec![
+                // Sweep engine: wall_secs per run, rendered only into
+                // the quarantined BENCH_sweep.json.
+                "sim::sweep".to_string(),
+                "bench::sweep".to_string(),
+                // Telemetry replay harness: solver wall-times feed
+                // BENCH_telemetry.json.
+                "bench::telem".to_string(),
+                // Fig. 7(b) optimizer scalability is a timing figure.
+                "bench::fig7".to_string(),
+            ],
+            renderers: vec![
+                // The telemetry crate renders traces, records, and
+                // Prometheus text.
+                "telemetry".to_string(),
+                // RunSummary / ChaosReport / latency summaries.
+                "sim::sweep".to_string(),
+                "sim::faults".to_string(),
+                "sim::metrics".to_string(),
+                "bench::sweep".to_string(),
+                // Session-table iteration order feeds drain records in
+                // the deterministic trace.
+                "lb::session".to_string(),
+            ],
+            telemetry_crate: "telemetry".to_string(),
+        }
+    }
+}

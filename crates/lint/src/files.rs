@@ -1,0 +1,384 @@
+//! Source-file model: workspace discovery, module-path derivation,
+//! and `#[cfg(test)]` scope computation.
+//!
+//! Rules never touch the filesystem — they operate on [`SourceFile`]s,
+//! which can be built from in-memory strings (unit tests, the
+//! seeded-violation test) or scanned from a real workspace tree.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lexer::{lex, Token};
+
+/// Which compilation target a file belongs to; several rules only
+/// apply to library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// `src/` of a crate (excluding `src/bin/` and `src/main.rs`).
+    Lib,
+    /// `src/bin/*.rs` or `src/main.rs`.
+    Bin,
+    /// `tests/*.rs` integration tests.
+    Test,
+    /// `examples/*.rs`.
+    Example,
+    /// `benches/*.rs`.
+    Bench,
+    /// Anything else (`build.rs`, stray scripts) — exempt from rules.
+    Other,
+}
+
+/// One lexed source file plus the derived facts rules need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated on every platform.
+    pub path: String,
+    /// Module path such as `sim::sweep` or `bench::bin::figures`;
+    /// the crate component is the directory name under `crates/`
+    /// (the root package maps to `spotweb`).
+    pub module_path: String,
+    /// Short crate name (`sim`, `bench`, `spotweb` for the root).
+    pub crate_name: String,
+    /// Compilation target kind.
+    pub target: Target,
+    /// Raw source text.
+    pub src: String,
+    /// Token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Per-token flag: inside a `#[cfg(test)]` / `#[test]`-guarded item.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Build a file from an in-memory source string. `rel_path` uses
+    /// `/` separators and is relative to the workspace root.
+    pub fn from_source(rel_path: &str, src: String) -> SourceFile {
+        let tokens = lex(&src);
+        let in_test = test_scopes(&src, &tokens);
+        let (crate_name, module_path, target) = classify(rel_path);
+        SourceFile {
+            path: rel_path.to_string(),
+            module_path,
+            crate_name,
+            target,
+            src,
+            tokens,
+            in_test,
+        }
+    }
+
+    /// Indices of non-comment tokens, in order.
+    pub fn code_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.tokens.len()).filter(|&i| !self.tokens[i].kind.is_comment())
+    }
+
+    /// Text of token `i`.
+    pub fn text(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.src)
+    }
+
+    /// Index of the nearest non-comment token before `i`, if any.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.tokens[j].kind.is_comment())
+    }
+
+    /// Index of the nearest non-comment token after `i`, if any.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        (i + 1..self.tokens.len()).find(|&j| !self.tokens[j].kind.is_comment())
+    }
+}
+
+/// Derive `(crate_name, module_path, target)` from a relative path.
+fn classify(rel_path: &str) -> (String, String, Target) {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let (crate_name, rest): (&str, &[&str]) = if parts.len() >= 3 && parts[0] == "crates" {
+        (parts[1], &parts[2..])
+    } else {
+        // Root package: `src/…`, `tests/…`, `examples/…`.
+        ("spotweb", &parts[..])
+    };
+    let module = |segs: &[&str]| -> String {
+        let mut out = vec![crate_name.to_string()];
+        for (k, s) in segs.iter().enumerate() {
+            let name = s.strip_suffix(".rs").unwrap_or(s);
+            let last = k + 1 == segs.len();
+            if last && (name == "lib" || name == "mod" || name == "main") {
+                continue;
+            }
+            out.push(name.to_string());
+        }
+        out.join("::")
+    };
+    let (module_path, target) = match rest {
+        ["src", "bin", bin @ ..] if !bin.is_empty() => {
+            let mut segs = vec!["bin"];
+            segs.extend(bin);
+            (module(&segs), Target::Bin)
+        }
+        ["src", "main.rs"] => (module(&[]), Target::Bin),
+        ["src", tail @ ..] if !tail.is_empty() => (module(tail), Target::Lib),
+        ["tests", tail @ ..] if !tail.is_empty() => {
+            let mut segs = vec!["tests"];
+            segs.extend(tail);
+            (module(&segs), Target::Test)
+        }
+        ["examples", tail @ ..] if !tail.is_empty() => {
+            let mut segs = vec!["examples"];
+            segs.extend(tail);
+            (module(&segs), Target::Example)
+        }
+        ["benches", tail @ ..] if !tail.is_empty() => {
+            let mut segs = vec!["benches"];
+            segs.extend(tail);
+            (module(&segs), Target::Bench)
+        }
+        _ => (module(rest), Target::Other),
+    };
+    (crate_name.to_string(), module_path, target)
+}
+
+/// `true` when `module_path` equals `prefix` or sits inside it
+/// (segment-aware: `sim::sweep` matches `sim::sweep::inner` but not
+/// `sim::sweeper`).
+pub fn module_matches(module_path: &str, prefix: &str) -> bool {
+    module_path == prefix
+        || (module_path.len() > prefix.len()
+            && module_path.starts_with(prefix)
+            && module_path[prefix.len()..].starts_with("::"))
+}
+
+/// Compute, per token, whether it sits inside a test-gated item:
+/// `#[cfg(test)]`, `#[test]`, or any `cfg` attribute mentioning
+/// `test` without `not` (so `#[cfg(not(test))]` code stays linted).
+fn test_scopes(src: &str, tokens: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    // Indices of non-comment tokens.
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].kind.is_comment())
+        .collect();
+    let text = |ci: usize| tokens[code[ci]].text(src);
+
+    let mut p = 0usize;
+    while p < code.len() {
+        if text(p) != "#" || p + 1 >= code.len() || text(p + 1) != "[" {
+            p += 1;
+            continue;
+        }
+        let attr_start = p;
+        // Consume the attribute's bracket group.
+        let (attr_end, is_test) = scan_attr(&code, tokens, src, p + 1);
+        p = attr_end;
+        if !is_test {
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        while p + 1 < code.len() && text(p) == "#" && text(p + 1) == "[" {
+            let (next_end, _) = scan_attr(&code, tokens, src, p + 1);
+            p = next_end;
+        }
+        // The guarded item extends to the matching `}` of its first
+        // top-level brace, or to a `;` for brace-less items.
+        let mut depth = 0i32;
+        while p < code.len() {
+            match text(p) {
+                "{" | "(" | "[" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    // Only a closing *curly* at depth 0 ends the item:
+                    // `fn f() { … }` must not end at the signature's `)`.
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            p += 1;
+        }
+        let end_tok = if p < code.len() {
+            code[p]
+        } else {
+            tokens.len() - 1
+        };
+        for f in flags.iter_mut().take(end_tok + 1).skip(code[attr_start]) {
+            *f = true;
+        }
+        p += 1;
+    }
+    flags
+}
+
+/// Scan an attribute whose `[` is at code-index `open`; returns the
+/// code-index one past the closing `]` and whether the attribute
+/// gates test-only code.
+fn scan_attr(code: &[usize], tokens: &[Token], src: &str, open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut q = open;
+    while q < code.len() {
+        let t = tokens[code[q]].text(src);
+        match t {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (q + 1, has_test && !has_not);
+                }
+            }
+            "test" => has_test = true,
+            "not" => has_not = true,
+            _ => {}
+        }
+        q += 1;
+    }
+    (q, false)
+}
+
+/// Recursively collect every `.rs` file under `root`, skipping
+/// `target/`, `vendor/`, `fixtures/`, and VCS directories. Paths are
+/// sorted so the resulting report is byte-stable.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut rel_paths = Vec::new();
+    collect(root, root, &mut rel_paths)?;
+    rel_paths.sort();
+    let mut files = Vec::with_capacity(rel_paths.len());
+    for rel in rel_paths {
+        let src = fs::read_to_string(root.join(&rel))?;
+        files.push(SourceFile::from_source(&rel, src));
+    }
+    Ok(files)
+}
+
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", "fixtures", ".git", "node_modules"];
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_crate_lib_and_module() {
+        let f = SourceFile::from_source("crates/sim/src/sweep.rs", String::new());
+        assert_eq!(f.crate_name, "sim");
+        assert_eq!(f.module_path, "sim::sweep");
+        assert_eq!(f.target, Target::Lib);
+        let f = SourceFile::from_source("crates/sim/src/lib.rs", String::new());
+        assert_eq!(f.module_path, "sim");
+        let f = SourceFile::from_source("crates/bench/src/bin/figures.rs", String::new());
+        assert_eq!(f.module_path, "bench::bin::figures");
+        assert_eq!(f.target, Target::Bin);
+    }
+
+    #[test]
+    fn classify_root_package_and_tests() {
+        let f = SourceFile::from_source("src/lib.rs", String::new());
+        assert_eq!(f.module_path, "spotweb");
+        assert_eq!(f.target, Target::Lib);
+        let f = SourceFile::from_source("tests/golden.rs", String::new());
+        assert_eq!(f.module_path, "spotweb::tests::golden");
+        assert_eq!(f.target, Target::Test);
+        let f = SourceFile::from_source("crates/lb/tests/proptests.rs", String::new());
+        assert_eq!(f.module_path, "lb::tests::proptests");
+        assert_eq!(f.target, Target::Test);
+        let f = SourceFile::from_source("examples/quickstart.rs", String::new());
+        assert_eq!(f.target, Target::Example);
+        let f = SourceFile::from_source("crates/bench/benches/solver.rs", String::new());
+        assert_eq!(f.target, Target::Bench);
+    }
+
+    #[test]
+    fn module_prefix_matching_is_segment_aware() {
+        assert!(module_matches("sim::sweep", "sim::sweep"));
+        assert!(module_matches("sim::sweep::inner", "sim::sweep"));
+        assert!(module_matches("telemetry::json", "telemetry"));
+        assert!(!module_matches("sim::sweeper", "sim::sweep"));
+        assert!(!module_matches("sim", "sim::sweep"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_scoped() {
+        let src = "fn lib_code() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn more_lib() {}\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src.to_string());
+        let flag_of = |name: &str| {
+            (0..f.tokens.len())
+                .find(|&i| f.text(i) == name)
+                .map(|i| f.in_test[i])
+        };
+        assert_eq!(flag_of("lib_code"), Some(false));
+        assert_eq!(flag_of("helper"), Some(true));
+        assert_eq!(flag_of("more_lib"), Some(false));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_scoped() {
+        let src = "#[test]\nfn a_test() { body(); }\nfn lib() {}\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src.to_string());
+        let flag_of = |name: &str| {
+            (0..f.tokens.len())
+                .find(|&i| f.text(i) == name)
+                .map(|i| f.in_test[i])
+        };
+        assert_eq!(flag_of("body"), Some(true));
+        assert_eq!(flag_of("lib"), Some(false));
+    }
+
+    #[test]
+    fn cfg_not_test_stays_linted() {
+        let src = "#[cfg(not(test))]\nfn prod() { body(); }\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src.to_string());
+        assert!(f.in_test.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn attribute_on_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() {}\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src.to_string());
+        let flag_of = |name: &str| {
+            (0..f.tokens.len())
+                .find(|&i| f.text(i) == name)
+                .map(|i| f.in_test[i])
+        };
+        assert_eq!(flag_of("HashMap"), Some(true));
+        assert_eq!(flag_of("lib"), Some(false));
+    }
+
+    #[test]
+    fn stacked_attributes_are_covered() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t { fn x() {} }\nfn lib() {}\n";
+        let f = SourceFile::from_source("crates/x/src/lib.rs", src.to_string());
+        let flag_of = |name: &str| {
+            (0..f.tokens.len())
+                .find(|&i| f.text(i) == name)
+                .map(|i| f.in_test[i])
+        };
+        assert_eq!(flag_of("x"), Some(true));
+        assert_eq!(flag_of("lib"), Some(false));
+    }
+}

@@ -1,0 +1,527 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The analyzer only needs a *token-accurate* view of a source file —
+//! identifiers, punctuation, and literals, with strings and comments
+//! correctly skipped so that `"HashMap"` inside a string or a doc
+//! comment never trips a rule. It does not build a syntax tree. The
+//! lexer therefore handles the full literal grammar (escaped strings,
+//! raw strings with arbitrary `#` counts, byte strings, char vs
+//! lifetime disambiguation, nested block comments) but treats
+//! everything else as identifiers and single-byte punctuation.
+//!
+//! Unterminated literals and comments are consumed to end-of-file
+//! rather than reported: the compiler owns syntax errors, the linter
+//! only needs to not panic on them.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, prefix stripped).
+    Ident,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Numeric literal (integer or float, suffix included).
+    Num,
+    /// String literal `"…"` or byte string `b"…"` (quotes included).
+    Str,
+    /// Raw string literal `r"…"` / `r#"…"#` / `br#"…"#`.
+    RawStr,
+    /// Character literal `'x'` or byte literal `b'x'`.
+    Char,
+    /// Line comment `// …` (doc comments included).
+    LineComment,
+    /// Block comment `/* … */`, nesting handled (doc comments included).
+    BlockComment,
+    /// Any other single byte: `{`, `.`, `#`, `!`, …
+    Punct,
+}
+
+impl TokenKind {
+    /// `true` for line and block comments.
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// `true` for string-like literals (escaped or raw, byte or not).
+    pub fn is_string(self) -> bool {
+        matches!(self, TokenKind::Str | TokenKind::RawStr)
+    }
+}
+
+/// One token: a byte span of the source plus its starting line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line number of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text as a slice of the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Count newlines in `src[start..end]` (for multi-line tokens).
+fn newlines_in(b: &[u8], start: usize, end: usize) -> u32 {
+    b[start..end.min(b.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count() as u32
+}
+
+/// Lex `src` into a flat token stream. Never panics on malformed
+/// input; unterminated literals extend to end-of-file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::LineComment,
+                start,
+                end: i,
+                line: start_line,
+            });
+            continue;
+        }
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::BlockComment,
+                start,
+                end: i,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // String-ish prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…', r#ident.
+        if c == b'r' || c == b'b' {
+            if let Some(tok) = lex_prefixed(b, i, start_line) {
+                line += newlines_in(b, start, tok.end);
+                i = tok.end;
+                out.push(tok);
+                continue;
+            }
+            // `r#ident` raw identifier: strip the prefix so text() is
+            // the bare name (rules compare against plain idents).
+            if c == b'r'
+                && b.get(i + 1) == Some(&b'#')
+                && b.get(i + 2).copied().is_some_and(is_ident_start)
+            {
+                let id_start = i + 2;
+                i = id_start;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident,
+                    start: id_start,
+                    end: i,
+                    line: start_line,
+                });
+                continue;
+            }
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident,
+                start,
+                end: i,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Numbers (lint-grade: consume digits, radix prefixes,
+        // fraction-if-digit-follows, exponents, and type suffixes).
+        if c.is_ascii_digit() {
+            i += 1;
+            if c == b'0' && matches!(b.get(i), Some(b'x' | b'o' | b'b')) {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            } else {
+                loop {
+                    match b.get(i) {
+                        Some(d) if d.is_ascii_alphanumeric() || *d == b'_' => {
+                            // `1e-3` / `2E+5`: sign is part of the literal.
+                            let exp = (*d == b'e' || *d == b'E')
+                                && matches!(b.get(i + 1), Some(b'+' | b'-'))
+                                && b.get(i + 2).is_some_and(|n| n.is_ascii_digit());
+                            i += if exp { 2 } else { 1 };
+                        }
+                        // Fraction only when a digit follows, so `0..n`
+                        // and `1.max()` stay separate tokens.
+                        Some(b'.') if b.get(i + 1).is_some_and(|n| n.is_ascii_digit()) => {
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Num,
+                start,
+                end: i,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Escaped strings.
+        if c == b'"' {
+            let end = scan_escaped(b, i + 1, b'"');
+            line += newlines_in(b, start, end);
+            out.push(Token {
+                kind: TokenKind::Str,
+                start,
+                end,
+                line: start_line,
+            });
+            i = end;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let next = b.get(i + 1).copied();
+            if next.is_some_and(is_ident_start) && next != Some(b'\\') {
+                // Scan the identifier run; a trailing quote makes it a
+                // char literal ('a'), otherwise it is a lifetime ('a).
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'\'') {
+                    out.push(Token {
+                        kind: TokenKind::Char,
+                        start,
+                        end: j + 1,
+                        line: start_line,
+                    });
+                    i = j + 1;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Lifetime,
+                        start,
+                        end: j,
+                        line: start_line,
+                    });
+                    i = j;
+                }
+            } else {
+                // '\n', '\'', '{', '\u{1f600}' — escaped scan to the
+                // closing quote.
+                let end = scan_escaped(b, i + 1, b'\'');
+                line += newlines_in(b, start, end);
+                out.push(Token {
+                    kind: TokenKind::Char,
+                    start,
+                    end,
+                    line: start_line,
+                });
+                i = end;
+            }
+            continue;
+        }
+
+        // Everything else: single-byte punctuation.
+        i += 1;
+        out.push(Token {
+            kind: TokenKind::Punct,
+            start,
+            end: i,
+            line: start_line,
+        });
+    }
+
+    out
+}
+
+/// Scan an escaped literal body starting just after the opening quote;
+/// returns the byte offset one past the closing `quote` (or EOF).
+fn scan_escaped(b: &[u8], mut i: usize, quote: u8) -> usize {
+    while i < b.len() {
+        if b[i] == b'\\' {
+            i += 2;
+        } else if b[i] == quote {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    b.len()
+}
+
+/// Try to lex a raw/byte string starting at `i` (which points at `r`
+/// or `b`). Returns `None` if the prefix is not actually a literal.
+fn lex_prefixed(b: &[u8], i: usize, line: u32) -> Option<Token> {
+    let c = b[i];
+    if c == b'b' {
+        match b.get(i + 1) {
+            Some(b'\'') => {
+                let end = scan_escaped(b, i + 2, b'\'');
+                return Some(Token {
+                    kind: TokenKind::Char,
+                    start: i,
+                    end,
+                    line,
+                });
+            }
+            Some(b'"') => {
+                let end = scan_escaped(b, i + 2, b'"');
+                return Some(Token {
+                    kind: TokenKind::Str,
+                    start: i,
+                    end,
+                    line,
+                });
+            }
+            Some(b'r') => return lex_raw(b, i, i + 2, line),
+            _ => return None,
+        }
+    }
+    // c == 'r'
+    lex_raw(b, i, i + 1, line)
+}
+
+/// Lex a raw string whose hash run (possibly empty) starts at `j`;
+/// `start` points at the `r`/`b` prefix. Returns `None` when the
+/// prefix is not followed by `#*"` (e.g. a raw identifier).
+fn lex_raw(b: &[u8], start: usize, mut j: usize, line: u32) -> Option<Token> {
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash bytes.
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(Token {
+                    kind: TokenKind::RawStr,
+                    start,
+                    end: j + 1 + hashes,
+                    line,
+                });
+            }
+        }
+        j += 1;
+    }
+    Some(Token {
+        kind: TokenKind::RawStr,
+        start,
+        end: b.len(),
+        line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let ks = kinds("let x = foo.bar();");
+        let idents: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "foo", "bar"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "HashMap::Instant"; use std::x;"#;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("HashMap")));
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"quote " inside"#; next"##;
+        let ks = kinds(src);
+        assert_eq!(
+            ks.iter().filter(|(k, _)| *k == TokenKind::RawStr).count(),
+            1
+        );
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "next"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ks = kinds(r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.starts_with("b\"")));
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Char && t == "b'x'"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStr && t.starts_with("br#")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ ident";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].0, TokenKind::BlockComment);
+        assert_eq!(ks[1], (TokenKind::Ident, "ident".to_string()));
+    }
+
+    #[test]
+    fn line_comments_to_eol() {
+        let ks = kinds("x // comment with Instant\ny");
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("Instant")));
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "Instant"));
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "y"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes = ks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        let chars = ks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn unicode_escape_char() {
+        let ks = kinds(r"let c = '\u{1f600}'; after");
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t.contains("1f600")));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "after"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let ks = kinds("for i in 0..10 { let x = 1.5e-3f64; let h = 0xff; }");
+        let nums: Vec<&str> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3f64", "0xff"]);
+    }
+
+    #[test]
+    fn tuple_field_access() {
+        let ks = kinds("pair.0.to_string()");
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Num && t == "0"));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "to_string"));
+    }
+
+    #[test]
+    fn raw_identifier_strips_prefix() {
+        let ks = kinds("let r#fn = 1;");
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"multi\nline\"\nc";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text(src) == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(6));
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof() {
+        let toks = lex("let s = \"never closed");
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokenKind::Str));
+    }
+}

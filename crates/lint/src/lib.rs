@@ -1,0 +1,81 @@
+//! `spotweb-lint`: workspace determinism & robustness analyzer.
+//!
+//! Every headline result of this reproduction — the Fig. 5a market
+//! churn, the chaos reports, the `--jobs 1 ≡ --jobs N` sweep equality
+//! — rests on invariants that used to be enforced only by convention:
+//! seeded randomness, byte-stable rendering, wall-clock quarantine.
+//! One stray `Instant::now()` or `HashMap` iteration inside a renderer
+//! silently breaks same-seed replayability, the property the paper's
+//! evaluation methodology depends on for apples-to-apples policy
+//! comparison. This crate turns those conventions into named,
+//! allowlistable rules checked on every build.
+//!
+//! Design constraints:
+//!
+//! * **Dependency-free.** The build environment has no registry
+//!   access, so the analyzer hand-rolls a small Rust lexer
+//!   ([`lexer`]) — strings, raw strings, and nested comments handled
+//!   correctly — instead of pulling in `syn`. Token-level analysis is
+//!   all the rules need; none require a syntax tree.
+//! * **Byte-stable output.** The JSON report sorts every section and
+//!   uses a fixed field order, so it can be golden-tested like every
+//!   other artifact in the workspace ([`report`]).
+//! * **Unit-testable engine.** Rules run over in-memory
+//!   [`files::SourceFile`]s; the filesystem only appears at the edge
+//!   ([`files::scan_workspace`]).
+//!
+//! The rule catalog lives in [`rules::RULES`]; the workspace's
+//! quarantine and renderer registries in [`config::LintConfig::spotweb`].
+//! Suppressions use an in-source pragma that the tool counts and
+//! reports (see [`rules`]); run the binary with `--list-allows` to
+//! audit the full suppression surface.
+//!
+//! ```
+//! use spotweb_lint::{files::SourceFile, config::LintConfig, rules::lint_files};
+//!
+//! let file = SourceFile::from_source(
+//!     "crates/core/src/lib.rs",
+//!     "fn f() { let t = std::time::Instant::now(); }".to_string(),
+//! );
+//! let report = lint_files(&LintConfig::spotweb(), &[file]);
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule, "wall-clock-quarantine");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod files;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::Path;
+
+pub use config::LintConfig;
+pub use report::Report;
+
+/// Scan `.rs` files under `root` and lint them with `cfg`. The
+/// workspace's own configuration is [`LintConfig::spotweb`].
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Report> {
+    let files = files::scan_workspace(root)?;
+    Ok(rules::lint_files(cfg, &files))
+}
+
+/// Walk upward from `start` to the nearest directory whose
+/// `Cargo.toml` declares a `[workspace]` — the root the binary and
+/// `figures lint` analyze by default.
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,126 @@
+//! `spotweb-lint` CLI: analyze the workspace, print diagnostics,
+//! optionally write the byte-stable `lint_report.json`.
+//!
+//! ```text
+//! spotweb-lint [--root DIR] [--json FILE] [--list-allows] [--rules] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed findings, `2` usage or I/O
+//! error. `--list-allows` prints every allow pragma with its reason —
+//! the full suppression surface — and exits by the same rule, so a
+//! pragma audit cannot mask a failing tree.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use spotweb_lint::rules::RULES;
+use spotweb_lint::{find_workspace_root, lint_workspace, LintConfig};
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    list_allows: bool,
+    rules: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        root: None,
+        json: None,
+        list_allows: false,
+        rules: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => out.root = Some(PathBuf::from(args.next().ok_or("--root needs a dir")?)),
+            "--json" => out.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?)),
+            "--list-allows" => out.list_allows = true,
+            "--rules" => out.rules = true,
+            "--quiet" => out.quiet = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: spotweb-lint [--root DIR] [--json FILE] [--list-allows] [--rules] [--quiet]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.rules {
+        for r in RULES {
+            println!(
+                "{:<32} {}{}",
+                r.id,
+                r.summary,
+                if r.allowlistable {
+                    ""
+                } else {
+                    " [not allowlistable]"
+                }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("spotweb-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match lint_workspace(&root, &LintConfig::spotweb()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("spotweb-lint: scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("spotweb-lint: creating {}: {e}", parent.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("spotweb-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if args.list_allows {
+        print!("{}", report.render_allows());
+    } else if !args.quiet {
+        print!("{}", report.render_human());
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,809 @@
+//! The rule engine: six checkable invariant rules, the allow-pragma
+//! grammar, and the driver that applies both to a file set.
+//!
+//! Every rule is named and allowlistable. A violation is suppressed
+//! only by an in-source pragma on the same line (or, for a pragma on
+//! its own line, the next code line):
+//!
+//! ```text
+//! // spotweb-lint: allow(wall-clock-quarantine) -- solver wall-time, BENCH-only
+//! ```
+//!
+//! The `-- reason` is mandatory: a bare allow is itself a violation
+//! (`allow-missing-reason`), as is naming a rule the analyzer does not
+//! know (`unknown-rule`) or a pragma it cannot parse
+//! (`malformed-pragma`). Meta-findings are not suppressible.
+
+use crate::config::LintConfig;
+use crate::files::{module_matches, SourceFile, Target};
+use crate::lexer::TokenKind;
+use crate::report::{AllowRecord, Finding, Report, Suppressed};
+
+/// Rule catalog entry.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable rule identifier used in pragmas and reports.
+    pub id: &'static str,
+    /// One-line summary for `--rules` and the docs.
+    pub summary: &'static str,
+    /// Whether the rule can be named in an allow pragma (meta rules
+    /// about pragmas themselves cannot).
+    pub allowlistable: bool,
+}
+
+/// Catalog of every rule the analyzer knows, checkable and meta.
+pub const RULES: [RuleInfo; 9] = [
+    RuleInfo {
+        id: "wall-clock-quarantine",
+        summary: "Instant/SystemTime only in registered quarantine modules (timings feed BENCH_* files, never byte-stable output)",
+        allowlistable: true,
+    },
+    RuleInfo {
+        id: "ordered-serialization",
+        summary: "no HashMap/HashSet in renderer modules; use BTreeMap/BTreeSet or explicit sorts for byte-stable iteration",
+        allowlistable: true,
+    },
+    RuleInfo {
+        id: "seeded-rng-only",
+        summary: "no thread_rng/from_entropy/OsRng/getrandom/RandomState; every RNG derives from the run seed",
+        allowlistable: true,
+    },
+    RuleInfo {
+        id: "no-float-display-in-renderers",
+        summary: "no {:e}/{:E}, precision, or {:?} format specs in renderer modules; floats go through telemetry::json::json_f64",
+        allowlistable: true,
+    },
+    RuleInfo {
+        id: "no-unwrap-in-lib",
+        summary: "library code propagates errors; .unwrap() only in #[cfg(test)] (use expect with an invariant, or ?)",
+        allowlistable: true,
+    },
+    RuleInfo {
+        id: "telemetry-name-constants",
+        summary: "metric names come from telemetry::names constants, not inline string literals",
+        allowlistable: true,
+    },
+    RuleInfo {
+        id: "allow-missing-reason",
+        summary: "every allow pragma must carry `-- <reason>`",
+        allowlistable: false,
+    },
+    RuleInfo {
+        id: "unknown-rule",
+        summary: "allow pragma names a rule the analyzer does not know",
+        allowlistable: false,
+    },
+    RuleInfo {
+        id: "malformed-pragma",
+        summary: "comment mentions spotweb-lint: but does not parse as allow(rule, …) -- reason",
+        allowlistable: false,
+    },
+];
+
+fn is_allowlistable(rule: &str) -> bool {
+    RULES.iter().any(|r| r.id == rule && r.allowlistable)
+}
+
+/// Marker that introduces a pragma inside any comment.
+const PRAGMA_MARKER: &str = "spotweb-lint:";
+
+/// Parsed pragma: named rules plus the (possibly missing) reason.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Pragma {
+    /// Rules the pragma allows.
+    pub rules: Vec<String>,
+    /// Reason text after `--`, if present and non-empty.
+    pub reason: Option<String>,
+}
+
+/// Parse a comment's text. `None`: not a pragma at all. `Some(Err)`:
+/// mentions the marker but does not parse (`malformed-pragma`).
+pub fn parse_pragma(comment: &str) -> Option<Result<Pragma, String>> {
+    let idx = comment.find(PRAGMA_MARKER)?;
+    let rest = comment[idx + PRAGMA_MARKER.len()..]
+        .trim()
+        .trim_end_matches("*/")
+        .trim_end();
+    let Some(args) = rest.strip_prefix("allow") else {
+        return Some(Err(format!(
+            "expected `allow(<rule>, …)` after `{PRAGMA_MARKER}`"
+        )));
+    };
+    let args = args.trim_start();
+    let Some(args) = args.strip_prefix('(') else {
+        return Some(Err("expected `(` after `allow`".to_string()));
+    };
+    let Some(close) = args.find(')') else {
+        return Some(Err("unclosed `(` in allow pragma".to_string()));
+    };
+    let mut rules = Vec::new();
+    for part in args[..close].split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            return Some(Err("empty rule name in allow pragma".to_string()));
+        }
+        rules.push(part.to_string());
+    }
+    let tail = args[close + 1..].trim();
+    let reason = match tail.strip_prefix("--") {
+        Some(r) => {
+            let r = r.trim();
+            if r.is_empty() {
+                None
+            } else {
+                Some(r.to_string())
+            }
+        }
+        None if tail.is_empty() => None,
+        None => {
+            return Some(Err(format!(
+                "unexpected trailing text after allow(…): `{tail}` (reasons start with `--`)"
+            )))
+        }
+    };
+    Some(Ok(Pragma { rules, reason }))
+}
+
+/// The line a pragma at token `i` suppresses: its own line when code
+/// precedes it on that line, otherwise the next code line.
+fn pragma_target_line(file: &SourceFile, i: usize) -> u32 {
+    let tok = file.tokens[i];
+    let code_before = file.tokens[..i]
+        .iter()
+        .any(|t| !t.kind.is_comment() && t.line == tok.line);
+    if code_before {
+        return tok.line;
+    }
+    file.tokens[i + 1..]
+        .iter()
+        .find(|t| !t.kind.is_comment())
+        .map_or(tok.line, |t| t.line)
+}
+
+// ---------------------------------------------------------------------------
+// Checkable rules. Each pushes raw findings; the driver applies allows.
+// ---------------------------------------------------------------------------
+
+const WALL_CLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "UNIX_EPOCH"];
+const HASH_IDENTS: [&str; 2] = ["HashMap", "HashSet"];
+const RNG_IDENTS: [&str; 5] = [
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "RandomState",
+];
+const TELEMETRY_METHODS: [&str; 8] = [
+    "count",
+    "counter",
+    "counter_add",
+    "gauge",
+    "gauge_set",
+    "observe",
+    "histogram",
+    "time",
+];
+const FMT_MACROS: [&str; 8] = [
+    "format",
+    "format_args",
+    "write",
+    "writeln",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+];
+
+fn rule_wall_clock(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !matches!(file.target, Target::Lib | Target::Bin) {
+        return;
+    }
+    if cfg
+        .wall_clock_quarantine
+        .iter()
+        .any(|q| module_matches(&file.module_path, q))
+    {
+        return;
+    }
+    for i in file.code_indices() {
+        let t = file.tokens[i];
+        if t.kind == TokenKind::Ident && WALL_CLOCK_IDENTS.contains(&file.text(i)) {
+            out.push(Finding {
+                rule: "wall-clock-quarantine".to_string(),
+                file: file.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` outside the wall-clock quarantine (module `{}` is not registered); \
+                     wall time breaks same-seed replay — derive timing from the sim clock, or \
+                     register the module if it only feeds BENCH_* output",
+                    file.text(i),
+                    file.module_path
+                ),
+            });
+        }
+    }
+}
+
+fn rule_ordered_serialization(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !matches!(file.target, Target::Lib | Target::Bin) {
+        return;
+    }
+    if !cfg
+        .renderers
+        .iter()
+        .any(|r| module_matches(&file.module_path, r))
+    {
+        return;
+    }
+    for i in file.code_indices() {
+        let t = file.tokens[i];
+        if t.kind == TokenKind::Ident && !file.in_test[i] && HASH_IDENTS.contains(&file.text(i)) {
+            out.push(Finding {
+                rule: "ordered-serialization".to_string(),
+                file: file.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` in renderer module `{}`: hash iteration order is seeded per-process \
+                     and would leak into byte-stable output; use BTreeMap/BTreeSet or sort \
+                     explicitly",
+                    file.text(i),
+                    file.module_path
+                ),
+            });
+        }
+    }
+}
+
+fn rule_seeded_rng(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if file.target == Target::Other {
+        return;
+    }
+    for i in file.code_indices() {
+        let t = file.tokens[i];
+        if t.kind == TokenKind::Ident && RNG_IDENTS.contains(&file.text(i)) {
+            out.push(Finding {
+                rule: "seeded-rng-only".to_string(),
+                file: file.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` draws OS entropy; every RNG must be seeded from the run seed \
+                     (SeedableRng::seed_from_u64 or a derived stream) so runs replay",
+                    file.text(i)
+                ),
+            });
+        }
+    }
+}
+
+fn rule_no_unwrap(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if file.target != Target::Lib {
+        return;
+    }
+    for i in file.code_indices() {
+        let t = file.tokens[i];
+        if t.kind == TokenKind::Ident && !file.in_test[i] && file.text(i) == "unwrap" {
+            let dotted = file.prev_code(i).is_some_and(|p| file.text(p) == ".");
+            if dotted {
+                out.push(Finding {
+                    rule: "no-unwrap-in-lib".to_string(),
+                    file: file.path.clone(),
+                    line: t.line,
+                    message: "`.unwrap()` in library code: propagate with `?`, or use \
+                              `.expect(\"<invariant>\")` to document why failure is impossible"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn rule_telemetry_names(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !matches!(file.target, Target::Lib | Target::Bin) {
+        return;
+    }
+    if file.crate_name == cfg.telemetry_crate {
+        return;
+    }
+    for i in file.code_indices() {
+        let t = file.tokens[i];
+        if t.kind != TokenKind::Ident
+            || file.in_test[i]
+            || !TELEMETRY_METHODS.contains(&file.text(i))
+        {
+            continue;
+        }
+        let dotted = file.prev_code(i).is_some_and(|p| file.text(p) == ".");
+        if !dotted {
+            continue;
+        }
+        let Some(open) = file.next_code(i).filter(|&j| file.text(j) == "(") else {
+            continue;
+        };
+        if let Some(arg) = file.next_code(open) {
+            if file.tokens[arg].kind.is_string() {
+                out.push(Finding {
+                    rule: "telemetry-name-constants".to_string(),
+                    file: file.path.clone(),
+                    line: file.tokens[arg].line,
+                    message: format!(
+                        "inline metric name {} passed to `.{}(…)`; add a constant to \
+                         telemetry::names so producers and consumers cannot fork the series",
+                        file.text(arg),
+                        file.text(i)
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn rule_float_display(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !matches!(file.target, Target::Lib | Target::Bin) {
+        return;
+    }
+    if !cfg
+        .renderers
+        .iter()
+        .any(|r| module_matches(&file.module_path, r))
+    {
+        return;
+    }
+    for i in file.code_indices() {
+        let t = file.tokens[i];
+        if t.kind != TokenKind::Ident || file.in_test[i] || !FMT_MACROS.contains(&file.text(i)) {
+            continue;
+        }
+        let Some(bang) = file.next_code(i).filter(|&j| file.text(j) == "!") else {
+            continue;
+        };
+        let Some(open) = file
+            .next_code(bang)
+            .filter(|&j| matches!(file.text(j), "(" | "[" | "{"))
+        else {
+            continue;
+        };
+        // First string literal inside the macro call is the format
+        // string (skipping e.g. the `write!(out, …)` destination).
+        let mut depth = 0i32;
+        let mut j = open;
+        let fmt = loop {
+            match file.text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break None;
+                    }
+                }
+                _ => {}
+            }
+            if file.tokens[j].kind.is_string() {
+                break Some(j);
+            }
+            match file.next_code(j) {
+                Some(n) => j = n,
+                None => break None,
+            }
+        };
+        let Some(fmt) = fmt else { continue };
+        for spec in bad_format_specs(file.text(fmt)) {
+            out.push(Finding {
+                rule: "no-float-display-in-renderers".to_string(),
+                file: file.path.clone(),
+                line: file.tokens[fmt].line,
+                message: format!(
+                    "format spec `{{{spec}}}` in renderer module `{}`: scientific/precision/debug \
+                     formatting is not the canonical float rendering; route floats through \
+                     telemetry::json::json_f64 (shortest round-trip, stable `.0` suffix)",
+                    file.module_path
+                ),
+            });
+        }
+    }
+}
+
+/// Extract `{…}` placeholders whose format spec bypasses canonical
+/// float rendering: scientific (`e`/`E`), precision (`.N`), or debug
+/// (`?`). Width/fill/align/radix specs on integers are fine.
+fn bad_format_specs(literal: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = literal.chars().collect();
+    let mut k = 0usize;
+    while k < chars.len() {
+        if chars[k] == '{' {
+            if chars.get(k + 1) == Some(&'{') {
+                k += 2;
+                continue;
+            }
+            let mut close = k + 1;
+            while close < chars.len() && chars[close] != '}' && chars[close] != '{' {
+                close += 1;
+            }
+            if chars.get(close) == Some(&'}') {
+                let piece: String = chars[k + 1..close].iter().collect();
+                if let Some((_, spec)) = piece.split_once(':') {
+                    let bad = spec.ends_with('e')
+                        || spec.ends_with('E')
+                        || spec.ends_with('?')
+                        || spec.contains('.');
+                    if bad {
+                        out.push(piece);
+                    }
+                }
+                k = close + 1;
+                continue;
+            }
+        } else if chars[k] == '}' && chars.get(k + 1) == Some(&'}') {
+            k += 2;
+            continue;
+        }
+        k += 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Run every rule over `files`, apply allow pragmas, and return the
+/// canonicalized report.
+pub fn lint_files(cfg: &LintConfig, files: &[SourceFile]) -> Report {
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+
+    for file in files {
+        // 1. Collect pragmas (and their meta-findings).
+        let mut allows: Vec<AllowRecord> = Vec::new();
+        for (i, tok) in file.tokens.iter().enumerate() {
+            if !tok.kind.is_comment() {
+                continue;
+            }
+            // Doc comments never carry live pragmas — they quote
+            // pragma syntax when documenting it (this crate included).
+            let text = file.text(i);
+            if ["///", "//!", "/**", "/*!"]
+                .iter()
+                .any(|d| text.starts_with(d))
+            {
+                continue;
+            }
+            match parse_pragma(text) {
+                None => {}
+                Some(Err(msg)) => report.findings.push(Finding {
+                    rule: "malformed-pragma".to_string(),
+                    file: file.path.clone(),
+                    line: tok.line,
+                    message: msg,
+                }),
+                Some(Ok(pragma)) => {
+                    for r in &pragma.rules {
+                        if !is_allowlistable(r) {
+                            report.findings.push(Finding {
+                                rule: "unknown-rule".to_string(),
+                                file: file.path.clone(),
+                                line: tok.line,
+                                message: format!(
+                                    "allow pragma names unknown rule `{r}` (see --rules for \
+                                     the catalog)"
+                                ),
+                            });
+                        }
+                    }
+                    if pragma.reason.is_none() {
+                        report.findings.push(Finding {
+                            rule: "allow-missing-reason".to_string(),
+                            file: file.path.clone(),
+                            line: tok.line,
+                            message: "allow pragma without `-- <reason>`: every suppression \
+                                      must say why it is safe"
+                                .to_string(),
+                        });
+                    }
+                    allows.push(AllowRecord {
+                        file: file.path.clone(),
+                        line: tok.line,
+                        target_line: pragma_target_line(file, i),
+                        rules: pragma.rules,
+                        reason: pragma.reason.unwrap_or_default(),
+                        used: false,
+                    });
+                }
+            }
+        }
+
+        // 2. Raw findings from every checkable rule.
+        let mut raw: Vec<Finding> = Vec::new();
+        rule_wall_clock(file, cfg, &mut raw);
+        rule_ordered_serialization(file, cfg, &mut raw);
+        rule_seeded_rng(file, cfg, &mut raw);
+        rule_no_unwrap(file, cfg, &mut raw);
+        rule_telemetry_names(file, cfg, &mut raw);
+        rule_float_display(file, cfg, &mut raw);
+
+        // 3. Apply allows line-by-line.
+        for f in raw {
+            let hit = allows
+                .iter_mut()
+                .find(|a| a.target_line == f.line && a.rules.contains(&f.rule));
+            match hit {
+                Some(a) => {
+                    a.used = true;
+                    report.suppressed.push(Suppressed {
+                        rule: f.rule,
+                        file: f.file,
+                        line: f.line,
+                        reason: a.reason.clone(),
+                    });
+                }
+                None => report.findings.push(f),
+            }
+        }
+        report.allows.append(&mut allows);
+    }
+
+    report.canonicalize();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::SourceFile;
+
+    fn cfg() -> LintConfig {
+        LintConfig {
+            wall_clock_quarantine: vec!["app::quarantined".to_string()],
+            renderers: vec!["app::render".to_string()],
+            telemetry_crate: "telemetry".to_string(),
+        }
+    }
+
+    fn lint_one(path: &str, src: &str) -> Report {
+        let f = SourceFile::from_source(path, src.to_string());
+        lint_files(&cfg(), &[f])
+    }
+
+    fn rules_of(r: &Report) -> Vec<&str> {
+        r.findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_quarantine() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n",
+        );
+        assert_eq!(
+            rules_of(&r),
+            ["wall-clock-quarantine", "wall-clock-quarantine"]
+        );
+        assert_eq!(r.findings[0].line, 1);
+        assert_eq!(r.findings[1].line, 2);
+    }
+
+    #[test]
+    fn wall_clock_ok_in_quarantined_module() {
+        let r = lint_one(
+            "crates/app/src/quarantined.rs",
+            "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn wall_clock_in_string_or_comment_is_fine() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "// Instant is quarantined\nconst S: &str = \"Instant::now\";\n",
+        );
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn hash_collections_flagged_only_in_renderers() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, u32>) {}\n";
+        let r = lint_one("crates/app/src/render.rs", src);
+        assert_eq!(
+            rules_of(&r),
+            ["ordered-serialization", "ordered-serialization"]
+        );
+        let r = lint_one("crates/app/src/other.rs", src);
+        assert!(r.is_clean(), "non-renderer modules may use HashMap");
+    }
+
+    #[test]
+    fn hash_collections_ok_in_renderer_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        let r = lint_one("crates/app/src/render.rs", src);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn entropy_rngs_flagged_everywhere_even_tests() {
+        let r = lint_one(
+            "crates/app/tests/integration.rs",
+            "fn f() { let mut rng = rand::thread_rng(); }\n",
+        );
+        assert_eq!(rules_of(&r), ["seeded-rng-only"]);
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "use std::collections::hash_map::RandomState;\n",
+        );
+        assert_eq!(rules_of(&r), ["seeded-rng-only"]);
+    }
+
+    #[test]
+    fn unwrap_flagged_in_lib_not_tests_or_bins() {
+        let src = "fn f() { g().unwrap(); }\n#[cfg(test)]\nmod t { fn h() { g().unwrap(); } }\n";
+        let r = lint_one("crates/app/src/lib.rs", src);
+        assert_eq!(rules_of(&r), ["no-unwrap-in-lib"]);
+        assert_eq!(r.findings[0].line, 1);
+        let r = lint_one("crates/app/src/bin/tool.rs", src);
+        assert!(r.is_clean(), "bins may unwrap");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "fn f() { g().unwrap_or(0); h().unwrap_or_default(); }\n",
+        );
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn inline_metric_names_flagged() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "fn f(s: &Sink) { s.count(\"my_total\", 1); s.observe(\"lat\", 0.5); }\n",
+        );
+        assert_eq!(
+            rules_of(&r),
+            ["telemetry-name-constants", "telemetry-name-constants"]
+        );
+    }
+
+    #[test]
+    fn constant_metric_names_and_float_observe_are_fine() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "fn f(s: &Sink) { s.count(names::SERVED, 1); p.observe(0.5); }\n",
+        );
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn telemetry_crate_itself_is_exempt() {
+        let r = lint_one(
+            "crates/telemetry/src/metrics.rs",
+            "fn f(&mut self) { self.count(\"x\", 1); }\n",
+        );
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn float_specs_flagged_in_renderers() {
+        let r = lint_one(
+            "crates/app/src/render.rs",
+            "fn f(x: f64) -> String { format!(\"{x:e} {:.2} {:?}\", x, x) }\n",
+        );
+        assert_eq!(r.findings.len(), 3);
+        assert!(rules_of(&r)
+            .iter()
+            .all(|r| *r == "no-float-display-in-renderers"));
+    }
+
+    #[test]
+    fn plain_and_width_specs_are_fine() {
+        let r = lint_one(
+            "crates/app/src/render.rs",
+            "fn f(x: u32) -> String { format!(\"{x} {:>8} {{literal}}\", x) }\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn write_macro_skips_destination_arg() {
+        let r = lint_one(
+            "crates/app/src/render.rs",
+            "fn f(o: &mut String, x: f64) { write!(o, \"{:.3}\", x); }\n",
+        );
+        assert_eq!(rules_of(&r), ["no-float-display-in-renderers"]);
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "use std::time::Instant; // spotweb-lint: allow(wall-clock-quarantine) -- timing only\n",
+        );
+        assert!(r.is_clean());
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].reason, "timing only");
+        assert!(r.allows[0].used);
+    }
+
+    #[test]
+    fn allow_on_preceding_line_suppresses_next_code_line() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "// spotweb-lint: allow(wall-clock-quarantine) -- timing only\nuse std::time::Instant;\n",
+        );
+        assert!(r.is_clean());
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation_but_still_suppresses() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "// spotweb-lint: allow(wall-clock-quarantine)\nuse std::time::Instant;\n",
+        );
+        assert_eq!(rules_of(&r), ["allow-missing-reason"]);
+        assert_eq!(r.suppressed.len(), 1, "the wall-clock hit is suppressed");
+    }
+
+    #[test]
+    fn allow_with_dashes_but_empty_reason_is_a_violation() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "// spotweb-lint: allow(wall-clock-quarantine) --\nuse std::time::Instant;\n",
+        );
+        assert!(rules_of(&r).contains(&"allow-missing-reason"));
+    }
+
+    #[test]
+    fn unknown_rule_and_malformed_pragmas_are_violations() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "// spotweb-lint: allow(no-such-rule) -- why\n// spotweb-lint: disable everything\n",
+        );
+        let mut rules = rules_of(&r);
+        rules.sort_unstable();
+        assert_eq!(rules, ["malformed-pragma", "unknown-rule"]);
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_lines_or_rules() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "// spotweb-lint: allow(no-unwrap-in-lib) -- wrong rule\nuse std::time::Instant;\n",
+        );
+        assert_eq!(rules_of(&r), ["wall-clock-quarantine"]);
+        assert!(!r.allows[0].used);
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let r = lint_one(
+            "crates/app/src/render.rs",
+            "// spotweb-lint: allow(ordered-serialization, seeded-rng-only) -- fixture\nuse std::collections::{HashMap, hash_map::RandomState};\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
+        assert_eq!(r.suppressed.len(), 2);
+    }
+
+    #[test]
+    fn block_comment_pragma_parses() {
+        let p = parse_pragma("/* spotweb-lint: allow(no-unwrap-in-lib) -- safe here */");
+        assert_eq!(
+            p,
+            Some(Ok(Pragma {
+                rules: vec!["no-unwrap-in-lib".to_string()],
+                reason: Some("safe here".to_string())
+            }))
+        );
+    }
+
+    #[test]
+    fn report_counts_files() {
+        let a = SourceFile::from_source("crates/app/src/a.rs", "fn a() {}\n".to_string());
+        let b = SourceFile::from_source("crates/app/src/b.rs", "fn b() {}\n".to_string());
+        let r = lint_files(&cfg(), &[a, b]);
+        assert_eq!(r.files_scanned, 2);
+        assert!(r.is_clean());
+    }
+}

@@ -9,7 +9,7 @@ use crate::catalog::Catalog;
 use crate::history::MarketHistory;
 use crate::price::SpotPriceProcess;
 use crate::revocation::{RevocationEvent, RevocationModel};
-use spotweb_telemetry::{TelemetrySink, TraceEvent};
+use spotweb_telemetry::{names, TelemetrySink, TraceEvent};
 
 /// One decision interval's market observations.
 #[derive(Debug, Clone)]
@@ -103,7 +103,7 @@ impl CloudSim {
         };
         self.history.record(&tick.prices, &tick.failure_probs);
         self.steps += 1;
-        self.telemetry.count("spotweb_market_steps_total", 1);
+        self.telemetry.count(names::MARKET_STEPS_TOTAL, 1);
         self.telemetry.emit(TraceEvent::MarketTick {
             step: self.steps,
             prices: tick.prices.clone(),
@@ -134,7 +134,7 @@ impl CloudSim {
         let events = self.revocations.sample_events(fleet, 1.0);
         if !events.is_empty() {
             self.telemetry
-                .count("spotweb_market_revocations_total", events.len() as u64);
+                .count(names::MARKET_REVOCATIONS_TOTAL, events.len() as u64);
         }
         events
     }
@@ -181,7 +181,7 @@ impl CloudSim {
         }
         if !events.is_empty() {
             self.telemetry
-                .count("spotweb_market_revocations_total", events.len() as u64);
+                .count(names::MARKET_REVOCATIONS_TOTAL, events.len() as u64);
         }
         events
     }

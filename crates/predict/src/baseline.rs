@@ -298,7 +298,7 @@ impl SeriesPredictor for SeasonalNaivePredictor {
                     if idx_from_back >= 1 && (idx_from_back as usize) <= self.history.len() {
                         self.history[self.history.len() - idx_from_back as usize]
                     } else {
-                        *self.history.back().unwrap()
+                        self.history.back().copied().unwrap_or(0.0)
                     }
                 } else {
                     self.history.back().copied().unwrap_or(0.0)

@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use spotweb_telemetry::TelemetrySink;
+use spotweb_telemetry::{names, TelemetrySink};
 
 /// Events the cluster simulation processes.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,16 +139,14 @@ impl EventQueue {
             event,
         });
         self.seq += 1;
-        self.telemetry
-            .count("spotweb_sim_events_scheduled_total", 1);
+        self.telemetry.count(names::SIM_EVENTS_SCHEDULED_TOTAL, 1);
     }
 
     /// Pop the next event, advancing the clock.
     pub fn pop(&mut self) -> Option<(f64, Event)> {
         self.heap.pop().map(|s| {
             self.now = s.time;
-            self.telemetry
-                .count("spotweb_sim_events_processed_total", 1);
+            self.telemetry.count(names::SIM_EVENTS_PROCESSED_TOTAL, 1);
             (s.time, s.event)
         })
     }

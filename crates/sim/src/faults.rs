@@ -24,7 +24,7 @@ use rand_chacha::ChaCha8Rng;
 
 use spotweb_lb::{BackendState, LoadBalancer, LoadBalancerConfig, RouteOutcome};
 use spotweb_telemetry::json::{json_f64, json_string};
-use spotweb_telemetry::{TelemetrySink, TraceEvent};
+use spotweb_telemetry::{names, TelemetrySink, TraceEvent};
 
 use crate::engine::{Event, EventQueue};
 use crate::metrics::{BucketStats, LatencyRecorder};
@@ -233,15 +233,18 @@ impl InvariantChecker {
         self.in_flight += 1;
         match lb.backends()[backend].state {
             BackendState::Down => {
+                // spotweb-lint: allow(no-float-display-in-renderers) -- fixed-precision diagnostic, deterministic and golden-locked
                 self.violate(format!("t={now:.3}: routed to down backend {backend}"));
             }
             BackendState::Draining { deadline } if now >= deadline => {
                 self.violate(format!(
+                    // spotweb-lint: allow(no-float-display-in-renderers) -- fixed-precision diagnostic, deterministic and golden-locked
                     "t={now:.3}: routed to backend {backend} past drain deadline {deadline:.3}"
                 ));
             }
             BackendState::Starting { ready_at } if now < ready_at => {
                 self.violate(format!(
+                    // spotweb-lint: allow(no-float-display-in-renderers) -- fixed-precision diagnostic, deterministic and golden-locked
                     "t={now:.3}: routed to backend {backend} before ready_at {ready_at:.3}"
                 ));
             }
@@ -275,11 +278,13 @@ impl InvariantChecker {
     /// the balancer's counters.
     pub fn check_tick(&mut self, lb: &LoadBalancer, now: f64) {
         if self.in_flight < 0 {
+            // spotweb-lint: allow(no-float-display-in-renderers) -- fixed-precision diagnostic, deterministic and golden-locked
             self.violate(format!("t={now:.3}: negative in-flight {}", self.in_flight));
         }
         let accounted = self.served + self.dropped + self.in_flight.max(0) as u64;
         if self.arrived != accounted {
             self.violate(format!(
+                // spotweb-lint: allow(no-float-display-in-renderers) -- fixed-precision diagnostic, deterministic and golden-locked
                 "t={now:.3}: conservation broken: arrived {} != served {} + dropped {} + in-flight {}",
                 self.arrived, self.served, self.dropped, self.in_flight
             ));
@@ -287,6 +292,7 @@ impl InvariantChecker {
         let stats = lb.stats();
         if stats.routed + stats.dropped != self.arrived {
             self.violate(format!(
+                // spotweb-lint: allow(no-float-display-in-renderers) -- fixed-precision diagnostic, deterministic and golden-locked
                 "t={now:.3}: balancer ledger disagrees: routed {} + dropped {} != arrived {}",
                 stats.routed, stats.dropped, self.arrived
             ));
@@ -637,14 +643,14 @@ impl ChaosScenario {
                         Some(d) if d < now && d >= arrived => {
                             recorder.record_drop(arrived);
                             checker.on_dropped_in_flight();
-                            sink.count("spotweb_requests_killed_in_flight_total", 1);
+                            sink.count(names::REQUESTS_KILLED_IN_FLIGHT_TOTAL, 1);
                         }
                         _ => {
                             recorder.record(arrived, now - arrived);
                             lb.complete(backend, None);
                             checker.on_served();
-                            sink.count("spotweb_requests_served_total", 1);
-                            sink.observe("spotweb_request_latency_seconds", now - arrived);
+                            sink.count(names::REQUESTS_SERVED_TOTAL, 1);
+                            sink.observe(names::REQUEST_LATENCY_SECONDS, now - arrived);
                         }
                     }
                 }
@@ -709,7 +715,9 @@ impl ChaosScenario {
                             } => (
                                 "correlated_revocation",
                                 match warning_secs {
+                                    // spotweb-lint: allow(no-float-display-in-renderers) -- debug list rendering in a golden-locked trace detail
                                     Some(w) => format!("markets {markets:?} warning {w}s"),
+                                    // spotweb-lint: allow(no-float-display-in-renderers) -- debug list rendering in a golden-locked trace detail
                                     None => format!("markets {markets:?} default warning"),
                                 },
                             ),

@@ -26,7 +26,7 @@ use rand_chacha::ChaCha8Rng;
 use spotweb_lb::{BackendState, LoadBalancer, LoadBalancerConfig, MonitorWindow, RouteOutcome};
 use spotweb_market::billing::{BillingModel, CostMeter};
 use spotweb_market::CloudSim;
-use spotweb_telemetry::{TelemetrySink, TraceEvent};
+use spotweb_telemetry::{names, TelemetrySink, TraceEvent};
 use spotweb_workload::Trace;
 
 use crate::faults::{FaultKind, FaultPlan, InvariantChecker};
@@ -227,15 +227,15 @@ pub fn run_full_stack(
                     recorder.record_drop(arrived);
                     monitor.record_dropped(arrived);
                     checker.on_dropped_in_flight();
-                    sink.count("spotweb_requests_killed_in_flight_total", 1);
+                    sink.count(names::REQUESTS_KILLED_IN_FLIGHT_TOTAL, 1);
                 }
                 _ => {
                     recorder.record(arrived, done - arrived);
                     monitor.record_served(arrived, done - arrived);
                     lb.complete(b, None);
                     checker.on_served();
-                    sink.count("spotweb_requests_served_total", 1);
-                    sink.observe("spotweb_request_latency_seconds", done - arrived);
+                    sink.count(names::REQUESTS_SERVED_TOTAL, 1);
+                    sink.observe(names::REQUEST_LATENCY_SECONDS, done - arrived);
                 }
             }
         }
@@ -648,7 +648,7 @@ pub fn run_full_stack(
         if sink.is_enabled() {
             let snap = monitor.clone().snapshot(t_end);
             let stats = recorder.bucket_stats(interval);
-            sink.gauge("spotweb_fleet_size", fleet_sizes[interval] as f64);
+            sink.gauge(names::FLEET_SIZE, fleet_sizes[interval] as f64);
             sink.emit_at(
                 t_end,
                 TraceEvent::IntervalSummary {

@@ -68,7 +68,7 @@ impl Layout {
         if v <= self.bounds[0] {
             return 0;
         }
-        if v >= *self.bounds.last().unwrap() {
+        if v >= *self.bounds.last().expect("layout has at least two bounds") {
             return self.n_buckets() - 1;
         }
         // First boundary strictly above v, minus one.

@@ -41,3 +41,35 @@ pub const ADMM_ITERATIONS_HIST: &str = "spotweb_admm_iterations";
 /// Timing (wall-clock store only, never the deterministic trace):
 /// seconds per MPO solve including problem build.
 pub const MPO_SOLVE_SECS: &str = "mpo_solve_secs";
+
+/// Counter: requests served to completion by the simulated service.
+pub const REQUESTS_SERVED_TOTAL: &str = "spotweb_requests_served_total";
+
+/// Counter: in-flight requests killed when their server was revoked
+/// before completion (the failover cost Fig. 4a measures).
+pub const REQUESTS_KILLED_IN_FLIGHT_TOTAL: &str = "spotweb_requests_killed_in_flight_total";
+
+/// Histogram: end-to-end request latency in (simulated) seconds.
+pub const REQUEST_LATENCY_SECONDS: &str = "spotweb_request_latency_seconds";
+
+/// Gauge: servers currently allocated across every market.
+pub const FLEET_SIZE: &str = "spotweb_fleet_size";
+
+/// Counter: requests rejected by LB admission control while capacity
+/// drained (surfaced per-scenario in ChaosReport).
+pub const LB_ADMISSION_REJECTIONS_TOTAL: &str = "spotweb_lb_admission_rejections_total";
+
+/// Counter: requests dropped because no backend was routable at all.
+pub const LB_NO_BACKEND_DROPS_TOTAL: &str = "spotweb_lb_no_backend_drops_total";
+
+/// Counter: market simulation steps executed.
+pub const MARKET_STEPS_TOTAL: &str = "spotweb_market_steps_total";
+
+/// Counter: server revocations issued by the simulated cloud.
+pub const MARKET_REVOCATIONS_TOTAL: &str = "spotweb_market_revocations_total";
+
+/// Counter: discrete events pushed onto the simulator's queue.
+pub const SIM_EVENTS_SCHEDULED_TOTAL: &str = "spotweb_sim_events_scheduled_total";
+
+/// Counter: discrete events popped and processed by the simulator.
+pub const SIM_EVENTS_PROCESSED_TOTAL: &str = "spotweb_sim_events_processed_total";

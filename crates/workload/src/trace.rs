@@ -69,7 +69,7 @@ impl Trace {
         let pos = (t_secs / self.interval_secs).max(0.0);
         let i = pos.floor() as usize;
         if i + 1 >= self.len() {
-            return *self.values.last().unwrap();
+            return *self.values.last().expect("non-empty checked above");
         }
         let w = pos - i as f64;
         self.values[i] * (1.0 - w) + self.values[i + 1] * w

@@ -1,0 +1,14 @@
+//! Non-renderer library code: seeded-rng and telemetry-name rules.
+//! (Fixture files are lexed, never compiled — unresolved names are fine.)
+
+pub fn unseeded() -> u64 {
+    let rng = thread_rng();
+    rng.gen()
+}
+
+pub fn literal_metric(sink: &Sink) {
+    sink.count("spotweb_policy_decisions_total", 1);
+}
+
+// spotweb-lint: allow(made-up-rule) -- pragma names a rule that does not exist
+pub fn under_bad_pragma() {}

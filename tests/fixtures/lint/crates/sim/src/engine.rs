@@ -1,0 +1,25 @@
+//! Unquarantined library code: wall clock and unwrap both flagged.
+
+use std::time::Instant;
+
+pub fn bad_timing() -> f64 {
+    let started = Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+pub fn bad_unwrap(v: &[f64]) -> f64 {
+    *v.last().unwrap()
+}
+
+pub fn suppressed_unwrap(v: &[f64]) -> f64 {
+    *v.first().unwrap() // spotweb-lint: allow(no-unwrap-in-lib) -- caller guarantees non-empty
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1.0];
+        assert_eq!(*v.last().unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! The telemetry crate itself may spell metric names as literals —
+//! this is where the constants live.
+
+/// Example counter name.
+pub const EXAMPLE_TOTAL: &str = "spotweb_example_total";
+
+#[derive(Default)]
+pub struct Sink;
+
+impl Sink {
+    pub fn count(&self, _name: &str, _by: u64) {}
+}
+
+pub fn record(sink: &Sink) {
+    sink.count("spotweb_example_total", 1);
+}

@@ -1,0 +1,21 @@
+//! Renderer module (`telemetry` is in the renderer registry):
+//! unordered containers and risky float specs are flagged here.
+
+use std::collections::HashMap;
+
+pub fn unordered(m: &HashMap<u64, f64>) -> usize {
+    m.len()
+}
+
+pub fn risky_float(x: f64) -> String {
+    format!("x={x:.3}")
+}
+
+pub fn suppressed_float(x: f64) -> String {
+    // spotweb-lint: allow(no-float-display-in-renderers) -- golden-locked legacy header
+    format!("hdr={x:e}")
+}
+
+pub fn reasonless(x: f64) -> String {
+    format!("y={x:.1}") // spotweb-lint: allow(no-float-display-in-renderers)
+}

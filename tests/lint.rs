@@ -1,0 +1,77 @@
+//! The workspace must lint clean, and the linter's own behaviour is
+//! locked by goldens: the report over the real tree and over the
+//! fixture tree at `tests/fixtures/lint/` are both byte-stable.
+//!
+//! Regenerate after intentional changes with
+//! `cargo run -p spotweb-lint -- --json tests/golden/lint_report.json`
+//! (add `--root tests/fixtures/lint` for the fixture golden).
+
+use std::path::Path;
+
+use spotweb_lint::files::SourceFile;
+use spotweb_lint::rules::lint_files;
+use spotweb_lint::{lint_workspace, LintConfig};
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn golden(name: &str) -> String {
+    let path = manifest_dir().join("tests/golden").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn workspace_is_clean_and_report_matches_golden() {
+    let report = lint_workspace(manifest_dir(), &LintConfig::spotweb()).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "unsuppressed lint findings:\n{}",
+        report.render_human()
+    );
+    assert_eq!(
+        report.to_json(),
+        golden("lint_report.json"),
+        "workspace lint report drifted from tests/golden/lint_report.json; \
+         if the change is intentional, regenerate with \
+         `cargo run -p spotweb-lint -- --json tests/golden/lint_report.json`"
+    );
+}
+
+#[test]
+fn fixture_tree_report_matches_golden() {
+    let root = manifest_dir().join("tests/fixtures/lint");
+    let report = lint_workspace(&root, &LintConfig::spotweb()).expect("fixture scan");
+    assert!(!report.is_clean(), "fixture tree must have findings");
+    assert_eq!(
+        report.to_json(),
+        golden("lint_fixture_report.json"),
+        "fixture lint report drifted from tests/golden/lint_fixture_report.json"
+    );
+}
+
+#[test]
+fn report_is_deterministic_across_runs() {
+    let a = lint_workspace(manifest_dir(), &LintConfig::spotweb()).expect("scan");
+    let b = lint_workspace(manifest_dir(), &LintConfig::spotweb()).expect("scan");
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn seeded_wall_clock_violation_in_core_is_caught() {
+    // The acceptance probe from the issue: a stray `Instant::now()` in
+    // an unquarantined `core` module must produce a named finding.
+    let src = "use std::time::Instant;\npub fn t() -> Instant { Instant::now() }\n";
+    let file = SourceFile::from_source("crates/core/src/seeded.rs", src.to_string());
+    let report = lint_files(&LintConfig::spotweb(), &[file]);
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.rule == "wall-clock-quarantine"),
+        "unexpected rules: {}",
+        report.render_human()
+    );
+    assert!(report.findings.iter().any(|f| f.line == 2));
+}
