@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures <command> [--seed N] [--intervals N] [--workload wikipedia|vod]
-//!         [--scenario NAME] [--summary] [--out DIR] [--jobs J]
+//!         [--scenario NAME] [--summary] [--out DIR] [--jobs J] [--full]
 //!
 //! commands:
 //!   fig3        workload traces (Fig. 3a/3b)
@@ -28,11 +28,17 @@
 //!               summaries, verifies they match a --jobs 1 pass, and
 //!               writes BENCH_sweep.json (wall-clock, speedup,
 //!               warm-vs-cold solver iterations) to --out DIR
+//!   perf        request-level simulator throughput: replay every
+//!               trace scenario at high offered load, print byte-stable
+//!               per-scenario JSON summaries, and write
+//!               BENCH_runner.json (simulated-requests-per-wall-second,
+//!               wall-clock quarantined) to --out DIR; --full adds the
+//!               day-scale 20 krps stress entry
 //!   lint        run the spotweb-lint determinism analyzer over the
 //!               workspace; with --out DIR also writes the byte-stable
 //!               lint_report.json. Non-zero exit on unsuppressed
 //!               findings (same engine as `cargo run -p spotweb-lint`)
-//!   all         everything above (except trace/report/sweep/lint)
+//!   all         everything above (except trace/report/sweep/perf/lint)
 //! ```
 //!
 //! `--jobs` is accepted by every subcommand so wrapper scripts can
@@ -60,6 +66,8 @@ struct Args {
     /// Worker threads for `sweep`; accepted (and currently a no-op) on
     /// the serial subcommands so scripts can pass it uniformly.
     jobs: usize,
+    /// `perf` only: also run the day-scale 20 krps stress entry.
+    full: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         summary: false,
         out: None,
         jobs: 1,
+        full: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -102,6 +111,7 @@ fn parse_args() -> Result<Args, String> {
                 out.scenario = Some(args.next().ok_or("--scenario needs a value")?);
             }
             "--summary" => out.summary = true,
+            "--full" => out.full = true,
             "--out" => {
                 out.out = Some(args.next().ok_or("--out needs a directory")?);
             }
@@ -425,6 +435,23 @@ fn run(args: &Args) -> Result<(), String> {
                 path.display()
             );
         }
+        "perf" => {
+            use spotweb_bench::perf;
+            let output = perf::run_command(seed, args.full)?;
+            // Deterministic per-scenario summaries on stdout;
+            // wall-clock on stderr + BENCH_runner.json only.
+            print!("{}", output.summary_lines);
+            let dir = std::path::Path::new(args.out.as_deref().unwrap_or("."));
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            let path = dir.join("BENCH_runner.json");
+            std::fs::write(&path, &output.bench_json)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            eprintln!(
+                "perf: {:.0} simulated requests per wall-second (aggregate); wrote {}",
+                output.aggregate_rps,
+                path.display()
+            );
+        }
         "lint" => {
             let cwd = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
             let root = spotweb_lint::find_workspace_root(&cwd)
@@ -471,6 +498,7 @@ fn run(args: &Args) -> Result<(), String> {
                     summary: args.summary,
                     out: None,
                     jobs: args.jobs,
+                    full: false,
                 };
                 eprintln!("=== {cmd} ===");
                 run(&sub)?;
@@ -485,7 +513,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|lint|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--summary] [--out DIR] [--jobs J]");
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|perf|lint|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--summary] [--out DIR] [--jobs J] [--full]");
             return ExitCode::from(2);
         }
     };

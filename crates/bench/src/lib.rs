@@ -17,6 +17,7 @@
 //! | [`discussion`] | §7 provider portability: EC2 vs GCP vs Azure profiles |
 //! | [`telem`] | `figures trace`/`report` — full-stack telemetry replay of the chaos scenarios |
 //! | [`sweep`] | `figures sweep` — deterministic parallel policy × scenario × seed grid + `BENCH_sweep.json` |
+//! | [`perf`] | `figures perf` — request-level simulator throughput record + `BENCH_runner.json` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +29,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod perf;
 pub mod sweep;
 pub mod telem;
 

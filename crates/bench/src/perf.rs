@@ -1,0 +1,254 @@
+//! `figures perf`: the request-level simulator throughput baseline and
+//! the `BENCH_runner.json` performance record.
+//!
+//! Each entry replays one chaos scenario (the same fault plans as
+//! `figures trace`/`figures sweep`, via [`crate::telem::scenario_setup`])
+//! through the full stack with telemetry enabled, at a request rate
+//! high enough that the per-arrival hot loop dominates the wall clock,
+//! and reports **simulated requests per wall-second** — the number the
+//! hot-path work in `sim::runner`/`sim::service`/`spotweb-telemetry`
+//! is meant to move.
+//!
+//! Determinism contract (same split as `BENCH_sweep.json`): everything
+//! a run *simulates* — arrivals, drops, latencies, digests — is a pure
+//! function of (scenario, seed) and goes to stdout as byte-stable
+//! [`RunSummary`] JSON lines; wall-clock numbers are inherently
+//! machine-dependent and exit only through `BENCH_runner.json` and
+//! stderr.
+//!
+//! `BENCH_runner.json` layout:
+//!
+//! * `seed` — seed every entry ran with.
+//! * `scenarios[]` — per scenario: offered `rps`, `simulated_secs`,
+//!   deterministic `arrivals`/`summary`, `wall_secs`, and
+//!   `requests_per_wall_second`.
+//! * `digest` — FNV digest over the deterministic summaries (ties the
+//!   perf record to the equivalence goldens).
+//! * `day_scale` — the week-class stress point (`--full` only; `null`
+//!   otherwise): one simulated day of 20 krps traffic.
+
+use spotweb_market::{Catalog, CloudSim};
+use spotweb_sim::sweep::{digest, RunSummary};
+use spotweb_sim::{run_full_stack, runner::ReactiveCheapestPolicy, RunnerConfig};
+use spotweb_telemetry::json::{json_f64, json_string};
+use spotweb_telemetry::TelemetrySink;
+use spotweb_workload::Trace;
+
+use crate::telem::{normalize_scenario, scenario_setup, TRACE_SCENARIOS};
+
+/// Offered load for the per-scenario throughput entries (req/s). High
+/// enough that the arrival loop dominates the interval bookkeeping.
+pub const PERF_RPS: f64 = 2000.0;
+
+/// Offered load of the `--full` day-scale stress entry (req/s) — the
+/// paper's peak Wikipedia rate (§5).
+pub const DAY_SCALE_RPS: f64 = 20_000.0;
+
+/// One measured perf entry.
+#[derive(Debug, Clone)]
+pub struct PerfRun {
+    /// Deterministic run summary (policy is always `reactive`: the MPO
+    /// solver is measured by `BENCH_sweep.json`; this harness isolates
+    /// the request path).
+    pub summary: RunSummary,
+    /// Offered Poisson rate (req/s).
+    pub rps: f64,
+    /// Simulated horizon (seconds).
+    pub simulated_secs: f64,
+    /// Requests generated (served + dropped).
+    pub arrivals: u64,
+    /// Wall-clock seconds for the run (machine-dependent; quarantined
+    /// to `BENCH_runner.json`).
+    pub wall_secs: f64,
+}
+
+impl PerfRun {
+    /// Simulated requests processed per wall-clock second.
+    pub fn requests_per_wall_second(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.arrivals as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Replay `scenario` through the full stack with the reactive policy
+/// at `rps` offered load for `intervals × interval_secs` simulated
+/// seconds, timing the run. Telemetry is enabled — the interned
+/// counter path is part of what this harness measures.
+pub fn run_one(
+    scenario: &str,
+    seed: u64,
+    rps: f64,
+    interval_secs: f64,
+    intervals: usize,
+) -> Result<PerfRun, String> {
+    let name = normalize_scenario(scenario);
+    let catalog = Catalog::fig4_testbed();
+    let Some(setup) = scenario_setup(&name, catalog.len()) else {
+        return Err(format!(
+            "unknown perf scenario {name:?}; known: {TRACE_SCENARIOS:?}"
+        ));
+    };
+    let sink = TelemetrySink::enabled();
+    let config = RunnerConfig {
+        interval_secs,
+        intervals,
+        seed,
+        faults: Some(setup.plan),
+        telemetry: sink.clone(),
+        lb: spotweb_lb::LoadBalancerConfig {
+            transiency_aware: setup.transiency_aware,
+            ..spotweb_lb::LoadBalancerConfig::default()
+        },
+        ..RunnerConfig::default()
+    };
+    let mut cloud = CloudSim::new(catalog.clone(), seed, 100);
+    cloud.warm_up(8);
+    let trace = Trace::new(interval_secs, vec![rps; intervals + 2]);
+    let mut policy = ReactiveCheapestPolicy {
+        headroom: 1.3,
+        capacities: catalog.markets().iter().map(|m| m.capacity_rps()).collect(),
+    };
+    let started = std::time::Instant::now();
+    let report = run_full_stack(&mut policy, &mut cloud, &trace, &config);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let summary = RunSummary {
+        policy: "reactive".to_string(),
+        scenario: name,
+        seed,
+        served: report.served as u64,
+        dropped: report.dropped,
+        drop_fraction: report.drop_fraction,
+        p50: report.p50,
+        p99: report.p99,
+        cost: report.cost,
+        revocations: u64::from(report.revocations),
+        migrated_sessions: report.migrated_sessions,
+        mpo_solves: 0,
+        admm_iterations: 0,
+    };
+    Ok(PerfRun {
+        arrivals: summary.served + summary.dropped,
+        summary,
+        rps,
+        simulated_secs: interval_secs * intervals as f64,
+        wall_secs,
+    })
+}
+
+/// Result of [`run_command`]: deterministic stdout body plus the
+/// rendered `BENCH_runner.json`.
+pub struct PerfOutput {
+    /// Per-entry JSON lines (byte-stable, scenario order) for stdout.
+    pub summary_lines: String,
+    /// The rendered `BENCH_runner.json` contents.
+    pub bench_json: String,
+    /// Aggregate simulated-requests-per-wall-second over the
+    /// per-scenario entries (stderr reporting).
+    pub aggregate_rps: f64,
+}
+
+fn render_entry(r: &PerfRun) -> String {
+    format!(
+        "{{\"scenario\":{},\"rps\":{},\"simulated_secs\":{},\"arrivals\":{},\
+         \"wall_secs\":{},\"requests_per_wall_second\":{},\"summary\":{}}}",
+        json_string(&r.summary.scenario),
+        json_f64(r.rps),
+        json_f64(r.simulated_secs),
+        r.arrivals,
+        json_f64(r.wall_secs),
+        json_f64(r.requests_per_wall_second()),
+        r.summary.to_json(),
+    )
+}
+
+/// Execute the perf command: measure every trace scenario at
+/// [`PERF_RPS`], optionally (`full`) the day-scale 20 krps stress
+/// point, and render both the stdout body and `BENCH_runner.json`.
+pub fn run_command(seed: u64, full: bool) -> Result<PerfOutput, String> {
+    // Same horizon shape as the sweep grid: four 5-minute intervals —
+    // one revocation storm lands mid-run — but at PERF_RPS the arrival
+    // loop processes ~2.4 M requests per entry.
+    let mut runs = Vec::with_capacity(TRACE_SCENARIOS.len());
+    for scenario in TRACE_SCENARIOS {
+        runs.push(run_one(scenario, seed, PERF_RPS, 300.0, 4)?);
+    }
+    let day_scale = if full {
+        // One simulated day of 20 krps: the paper-scale stress point
+        // (≈1.7 G requests). Reported separately so the per-scenario
+        // entries stay cheap enough for CI.
+        Some(run_one(
+            "revocation-storm",
+            seed,
+            DAY_SCALE_RPS,
+            3600.0,
+            24,
+        )?)
+    } else {
+        None
+    };
+
+    let summaries: Vec<RunSummary> = runs.iter().map(|r| r.summary.clone()).collect();
+    let corpus_digest = digest(&summaries);
+    let total_arrivals: u64 = runs.iter().map(|r| r.arrivals).sum();
+    let total_wall: f64 = runs.iter().map(|r| r.wall_secs).sum();
+    let aggregate_rps = if total_wall > 0.0 {
+        total_arrivals as f64 / total_wall
+    } else {
+        0.0
+    };
+
+    let mut summary_lines = String::new();
+    for s in &summaries {
+        summary_lines.push_str(&s.to_json());
+        summary_lines.push('\n');
+    }
+
+    let mut entries = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            entries.push(',');
+        }
+        entries.push_str("\n    ");
+        entries.push_str(&render_entry(r));
+    }
+    let day_json = match &day_scale {
+        Some(r) => render_entry(r),
+        None => "null".to_string(),
+    };
+    let bench_json = format!(
+        "{{\n  \"seed\": {seed},\n  \"scenarios\": [{entries}\n  ],\n  \
+         \"aggregate_requests_per_wall_second\": {},\n  \
+         \"digest\": {},\n  \"day_scale\": {day_json}\n}}\n",
+        json_f64(aggregate_rps),
+        json_string(&corpus_digest),
+    );
+
+    Ok(PerfOutput {
+        summary_lines,
+        bench_json,
+        aggregate_rps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_entry_is_deterministic_apart_from_wall_clock() {
+        let a = run_one("zero-warning", 7, 200.0, 60.0, 2).unwrap();
+        let b = run_one("zero_warning", 7, 200.0, 60.0, 2).unwrap();
+        assert_eq!(a.summary.to_json(), b.summary.to_json());
+        assert_eq!(a.arrivals, b.arrivals);
+        assert!(a.arrivals > 0);
+    }
+
+    #[test]
+    fn unknown_scenario_is_a_helpful_error() {
+        let err = run_one("kernel-panic", 7, 200.0, 60.0, 1).unwrap_err();
+        assert!(err.contains("known:"), "{err}");
+    }
+}

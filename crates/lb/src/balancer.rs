@@ -18,7 +18,7 @@ use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::backend::{Backend, BackendId, BackendState};
 use crate::session::SessionTable;
 use crate::wrr::SmoothWrr;
-use spotweb_telemetry::{names, DrainRecord, TelemetrySink, TraceEvent};
+use spotweb_telemetry::{names, CounterHandle, DrainRecord, TelemetrySink, TraceEvent};
 
 /// Load-balancer configuration.
 #[derive(Debug, Clone)]
@@ -96,6 +96,14 @@ pub struct LoadBalancer {
     admission: AdmissionController,
     stats: LbStats,
     telemetry: TelemetrySink,
+    /// Per-request drop counters on the interned fast path (see
+    /// [`CounterHandle`]); re-resolved whenever the sink changes.
+    admission_rejections: CounterHandle,
+    no_backend_drops: CounterHandle,
+    /// Reusable per-route eligibility mask (`scratch[i]` = backend `i`
+    /// is healthy with headroom). Routing fills it in place instead of
+    /// collecting a fresh `Vec<bool>` on every tiered pick.
+    scratch: Vec<bool>,
 }
 
 impl LoadBalancer {
@@ -110,12 +118,17 @@ impl LoadBalancer {
             admission,
             stats: LbStats::default(),
             telemetry: TelemetrySink::disabled(),
+            admission_rejections: CounterHandle::default(),
+            no_backend_drops: CounterHandle::default(),
+            scratch: Vec::new(),
         }
     }
 
     /// Attach a telemetry sink; drains, deaths, restores, and
     /// admission rejections are recorded through it.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.admission_rejections = sink.counter_handle(names::LB_ADMISSION_REJECTIONS_TOTAL);
+        self.no_backend_drops = sink.counter_handle(names::LB_NO_BACKEND_DROPS_TOTAL);
         self.telemetry = sink;
     }
 
@@ -231,6 +244,24 @@ impl LoadBalancer {
         self.backends[i].utilization(now, self.config.service_secs) > Self::OVERLOAD_FACTOR
     }
 
+    /// Take the scratch mask, filled so `mask[i]` holds exactly when
+    /// backend `i` is accepting and unsaturated at `now` (routing
+    /// tier 1). The caller returns it via [`Self::put_tier1_mask`] so
+    /// the buffer is reused across routes instead of reallocated.
+    fn take_tier1_mask(&mut self, now: f64) -> Vec<bool> {
+        let mut mask = std::mem::take(&mut self.scratch);
+        mask.clear();
+        mask.extend(
+            (0..self.backends.len())
+                .map(|i| self.backends[i].accepts_new(now) && !self.is_saturated(i, now)),
+        );
+        mask
+    }
+
+    fn put_tier1_mask(&mut self, mask: Vec<bool>) {
+        self.scratch = mask;
+    }
+
     /// Route one request. `session` pins/uses stickiness when given.
     ///
     /// Routing tiers: (1) non-draining backends with headroom, (2) —
@@ -258,8 +289,7 @@ impl LoadBalancer {
             {
                 self.stats.dropped += 1;
                 self.stats.admission_rejections += 1;
-                self.telemetry
-                    .count(names::LB_ADMISSION_REJECTIONS_TOTAL, 1);
+                self.admission_rejections.inc();
                 return RouteOutcome::Dropped;
             }
         }
@@ -276,9 +306,7 @@ impl LoadBalancer {
                     // Seek capacity: healthy backends first, then
                     // still-alive draining ones (the paper's "load stays
                     // on the revoked servers until replacements start").
-                    let t1: Vec<bool> = (0..self.backends.len())
-                        .map(|i| self.backends[i].accepts_new(now) && !self.is_saturated(i, now))
-                        .collect();
+                    let t1 = self.take_tier1_mask(now);
                     let target = self
                         .wrr
                         .pick(|i| t1[i])
@@ -290,6 +318,7 @@ impl LoadBalancer {
                                     && !self.is_saturated(i, now)
                             })
                         });
+                    self.put_tier1_mask(t1);
                     if let Some(nb) = target {
                         self.sessions.assign(s, nb);
                         self.backends[nb].in_flight += 1;
@@ -321,7 +350,7 @@ impl LoadBalancer {
             }
             None => {
                 self.stats.dropped += 1;
-                self.telemetry.count(names::LB_NO_BACKEND_DROPS_TOTAL, 1);
+                self.no_backend_drops.inc();
                 RouteOutcome::Dropped
             }
         }
@@ -345,17 +374,17 @@ impl LoadBalancer {
 
     fn pick_tiered(&mut self, now: f64) -> Option<BackendId> {
         // Tier 1: healthy backends with headroom, via weighted RR.
-        let t1: Vec<bool> = (0..self.backends.len())
-            .map(|i| self.backends[i].accepts_new(now) && !self.is_saturated(i, now))
-            .collect();
+        let t1 = self.take_tier1_mask(now);
         if let Some(b) = self.wrr.pick(|i| t1[i]) {
+            self.put_tier1_mask(t1);
             return Some(b);
         }
         // Tier 1b: healthy but currently zero-weighted (portfolio just
-        // changed); least-utilized.
-        if let Some(b) = self.pick_least_utilized(now, |i| {
-            self.backends[i].accepts_new(now) && !self.is_saturated(i, now)
-        }) {
+        // changed); least-utilized. The mask already holds exactly the
+        // accepting-and-unsaturated predicate at this `now`.
+        let tier1b = self.pick_least_utilized(now, |i| t1[i]);
+        self.put_tier1_mask(t1);
+        if let Some(b) = tier1b {
             return Some(b);
         }
         // Tier 2: draining-but-alive backends with headroom.

@@ -8,17 +8,52 @@
 //! front-end tier is stateless — session state lives in the back-end
 //! tier — so re-pinning is safe (§4.4).
 
-use std::collections::BTreeMap;
+// spotweb-lint: allow(ordered-serialization) -- assignment map is probed by key only, never iterated; rendered output walks per_backend (BTreeMap + insertion-ordered Vecs)
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::backend::BackendId;
 
+/// Deterministic, allocation-free hasher for u64 session ids: one
+/// Fibonacci multiply plus an xor-shift to disperse sequential ids.
+/// A fixed function (no per-process `RandomState` seed) so the table
+/// behaves identically in every run — though nothing may iterate the
+/// assignment map anyway (see [`SessionTable`]).
+#[derive(Debug, Default)]
+pub struct SessionIdHasher(u64);
+
+impl Hasher for SessionIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback for non-u64 writes (unused by u64 keys).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let h = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
 /// Session-id → backend assignment table.
 ///
-/// Keyed with `BTreeMap` so migration scans and any rendered dump walk
-/// sessions in a deterministic order regardless of hasher seed.
+/// The assignment map sits on the per-arrival routing path (one
+/// lookup per sticky request), so it is a hash map with a fixed
+/// [`SessionIdHasher`] rather than a `BTreeMap` — O(1) probes, no
+/// tree walk. Determinism holds structurally: the map is only ever
+/// probed by key (lookup/insert/remove), never iterated, so its
+/// internal order cannot reach any output. Order-sensitive walks
+/// (migration, dumps) go through the `per_backend` reverse index,
+/// whose `Vec`s preserve insertion order.
 #[derive(Debug, Clone, Default)]
 pub struct SessionTable {
-    assignments: BTreeMap<u64, BackendId>,
+    // spotweb-lint: allow(ordered-serialization) -- probed by key only, never iterated; fixed SessionIdHasher keeps the table run-deterministic anyway
+    assignments: HashMap<u64, BackendId, BuildHasherDefault<SessionIdHasher>>,
     /// Reverse index: backend → session count (cheap migration scans).
     per_backend: BTreeMap<BackendId, Vec<u64>>,
 }

@@ -19,6 +19,12 @@ pub struct LintConfig {
     /// Crate whose files define the telemetry API itself and are
     /// therefore exempt from `telemetry-name-constants`.
     pub telemetry_crate: String,
+    /// Per-request hot-path modules: string-keyed `.count(…)` /
+    /// `.observe(…)` sink calls are banned here even with `names::`
+    /// constants — the name lookup costs a map probe per request, so
+    /// these modules must resolve a `CounterHandle`/`HistogramHandle`
+    /// once and increment through it (ISSUE 5).
+    pub hot_paths: Vec<String>,
 }
 
 impl LintConfig {
@@ -38,6 +44,9 @@ impl LintConfig {
                 // Telemetry replay harness: solver wall-times feed
                 // BENCH_telemetry.json.
                 "bench::telem".to_string(),
+                // Runner throughput harness: wall_secs per scenario,
+                // rendered only into the quarantined BENCH_runner.json.
+                "bench::perf".to_string(),
                 // Fig. 7(b) optimizer scalability is a timing figure.
                 "bench::fig7".to_string(),
             ],
@@ -55,6 +64,15 @@ impl LintConfig {
                 "lb::session".to_string(),
             ],
             telemetry_crate: "telemetry".to_string(),
+            hot_paths: vec![
+                // The per-arrival loop: one served/killed counter tick
+                // and one latency observation per simulated request.
+                "sim::runner".to_string(),
+                // Event queue: one counter tick per schedule and pop.
+                "sim::engine".to_string(),
+                // Router: admission/no-backend drop counters per route.
+                "lb::balancer".to_string(),
+            ],
         }
     }
 }

@@ -60,7 +60,7 @@ pub const RULES: [RuleInfo; 9] = [
     },
     RuleInfo {
         id: "telemetry-name-constants",
-        summary: "metric names come from telemetry::names constants, not inline string literals",
+        summary: "metric names come from telemetry::names constants, not inline string literals; hot-path modules use interned Counter/Histogram handles instead of string-keyed count/observe",
         allowlistable: true,
     },
     RuleInfo {
@@ -332,7 +332,63 @@ fn rule_telemetry_names(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Findi
                         file.text(i)
                     ),
                 });
+                continue;
             }
+        }
+        // Hot-path extension: inside registered per-request modules,
+        // even a `names::` constant is too slow — a string-keyed
+        // `.count(name, δ)` / `.observe(name, v)` pays a map probe per
+        // request. Those modules resolve a handle once instead.
+        // String-keyed sink calls are exactly the two-or-more-argument
+        // forms; one-argument `handle.observe(v)` and zero-argument
+        // iterator `.count()` never have a top-level comma.
+        if !matches!(file.text(i), "count" | "observe") {
+            continue;
+        }
+        if !cfg
+            .hot_paths
+            .iter()
+            .any(|m| module_matches(&file.module_path, m))
+        {
+            continue;
+        }
+        if call_has_multiple_args(file, open) {
+            out.push(Finding {
+                rule: "telemetry-name-constants".to_string(),
+                file: file.path.clone(),
+                line: t.line,
+                message: format!(
+                    "string-keyed `.{}(…)` in hot-path module `{}`: resolve a \
+                     CounterHandle/HistogramHandle once (sink.counter_handle / \
+                     sink.histogram_handle) and use it in the per-request loop",
+                    file.text(i),
+                    file.module_path
+                ),
+            });
+        }
+    }
+}
+
+/// `true` when the call whose `(` is at token `open` has a comma at
+/// paren depth 1 — i.e. two or more top-level arguments.
+fn call_has_multiple_args(file: &SourceFile, open: usize) -> bool {
+    let mut depth = 0i32;
+    let mut j = open;
+    loop {
+        match file.text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            "," if depth == 1 => return true,
+            _ => {}
+        }
+        match file.next_code(j) {
+            Some(n) => j = n,
+            None => return false,
         }
     }
 }
@@ -558,6 +614,7 @@ mod tests {
             wall_clock_quarantine: vec!["app::quarantined".to_string()],
             renderers: vec!["app::render".to_string()],
             telemetry_crate: "telemetry".to_string(),
+            hot_paths: vec!["app::hot".to_string()],
         }
     }
 
@@ -673,6 +730,41 @@ mod tests {
             "fn f(s: &Sink) { s.count(names::SERVED, 1); p.observe(0.5); }\n",
         );
         assert!(r.is_clean());
+    }
+
+    #[test]
+    fn string_keyed_telemetry_flagged_in_hot_path_modules() {
+        // Even a names:: constant is a map probe per request — hot-path
+        // modules must go through interned handles.
+        let r = lint_one(
+            "crates/app/src/hot.rs",
+            "fn f(s: &Sink) { s.count(names::SERVED, 1); s.observe(names::LAT, 0.5); }\n",
+        );
+        assert_eq!(
+            rules_of(&r),
+            ["telemetry-name-constants", "telemetry-name-constants"]
+        );
+        assert!(r.findings[0].message.contains("CounterHandle"));
+    }
+
+    #[test]
+    fn handle_calls_and_iterator_count_are_fine_in_hot_paths() {
+        let r = lint_one(
+            "crates/app/src/hot.rs",
+            "fn f(h: &CounterHandle, g: &HistogramHandle, v: &[u32]) {\n\
+             \x20   h.inc(); g.observe(0.5); let n = v.iter().count();\n\
+             \x20   let m = v.iter().filter(|x| f(**x, 0)).count();\n}\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn string_keyed_telemetry_fine_outside_hot_paths() {
+        let r = lint_one(
+            "crates/app/src/cold.rs",
+            "fn f(s: &Sink) { s.count(names::SERVED, 1); s.observe(names::LAT, 0.5); }\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
     }
 
     #[test]

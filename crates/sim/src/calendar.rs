@@ -1,0 +1,312 @@
+//! A calendar queue for request completions.
+//!
+//! The request-level runner used to keep every in-flight completion in
+//! one global `BinaryHeap`, paying two `O(log n)` sift passes per
+//! simulated request. This queue exploits what the heap cannot: the
+//! service model only ever schedules completions at least one service
+//! time *ahead* of the simulation clock, so time can be divided into
+//! fixed-width buckets that are each fully populated **before** the
+//! clock reaches them. Pushes append to a bucket in O(1); each bucket
+//! is sorted exactly once, when the drain cursor enters it; pops are
+//! O(1) from the sorted bucket tail.
+//!
+//! Ordering is the total order the old heap used — ascending
+//! `(done.to_bits(), backend, arrived.to_bits())` — so replacing the
+//! heap with this queue is byte-invisible to every consumer
+//! (IEEE-754 bit order equals numeric order for the non-negative
+//! times the simulator produces), including the order ties are
+//! resolved in.
+//!
+//! The no-late-insert invariant: callers must pick `width` no larger
+//! than the minimum completion delay (the base service time — every
+//! push satisfies `done ≥ now + service_secs` while drains never pass
+//! `now`), which guarantees a push never lands in the bucket the
+//! cursor currently occupies. The queue stays *correct* even if that
+//! is violated — a late insert binary-searches into the sorted current
+//! bucket — it is just no longer O(1).
+//!
+//! Buckets live in a fixed ring (`RING_BUCKETS` slots); entries beyond
+//! the ring horizon — possible only under extreme queueing backlog —
+//! overflow into a `far` vector that is folded back in as the cursor
+//! advances.
+
+/// Ring size: how many bucket-widths of future the queue covers
+/// without touching the overflow path. At the default width (half a
+/// service time) this is ~60 s of simulated future — queueing delays
+/// past that exist only in pathological overload.
+const RING_BUCKETS: usize = 1024;
+
+/// One scheduled completion.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Sort key: `(done.to_bits(), backend, arrived.to_bits())` —
+    /// the old global heap's exact total order.
+    key: (u64, u64, u64),
+    done: f64,
+    arrived: f64,
+}
+
+/// Bucketed completion queue; see the module docs for the invariant
+/// that makes it O(1) per operation.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    width: f64,
+    /// `ring[b % RING_BUCKETS]` holds bucket `b`'s entries, unsorted
+    /// until the cursor enters `b` (then sorted descending, popped
+    /// from the back).
+    ring: Vec<Vec<Entry>>,
+    /// Absolute index of the bucket the cursor occupies.
+    cursor: u64,
+    /// Whether the cursor bucket has been sorted yet.
+    sorted: bool,
+    /// Entries at least `RING_BUCKETS` buckets ahead of the cursor.
+    far: Vec<Entry>,
+    len: usize,
+}
+
+impl CalendarQueue {
+    /// A queue with buckets `width` seconds wide. `width` must not
+    /// exceed the minimum scheduling delay for O(1) operation (see
+    /// module docs).
+    pub fn new(width: f64) -> Self {
+        assert!(width > 0.0 && width.is_finite(), "bucket width: {width}");
+        CalendarQueue {
+            width,
+            ring: (0..RING_BUCKETS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            sorted: false,
+            far: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Scheduled completions not yet popped.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, done: f64) -> u64 {
+        debug_assert!(done >= 0.0 && done.is_finite());
+        (done / self.width) as u64
+    }
+
+    /// Schedule the completion of a request that arrived at `arrived`
+    /// and finishes at `done` on `backend`.
+    pub fn push(&mut self, done: f64, backend: usize, arrived: f64) {
+        let entry = Entry {
+            key: (done.to_bits(), backend as u64, arrived.to_bits()),
+            done,
+            arrived,
+        };
+        let b = self.bucket_of(done).max(self.cursor);
+        self.len += 1;
+        if b >= self.cursor + RING_BUCKETS as u64 {
+            self.far.push(entry);
+            return;
+        }
+        let slot = &mut self.ring[(b % RING_BUCKETS as u64) as usize];
+        if b == self.cursor && self.sorted {
+            // Invariant violation path (still exact): place the late
+            // entry where the descending sort order wants it.
+            let pos = slot.partition_point(|e| e.key > entry.key);
+            slot.insert(pos, entry);
+        } else {
+            slot.push(entry);
+        }
+    }
+
+    /// Fold overflow entries that now fit in the ring back into it.
+    fn refill_from_far(&mut self) {
+        let horizon = self.cursor + RING_BUCKETS as u64;
+        let mut i = 0;
+        while i < self.far.len() {
+            let b = self.bucket_of(self.far[i].done).max(self.cursor);
+            if b < horizon {
+                let entry = self.far.swap_remove(i);
+                self.ring[(b % RING_BUCKETS as u64) as usize].push(entry);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Advance the cursor to the next non-empty bucket and sort it.
+    /// Caller guarantees `len > 0`.
+    fn settle(&mut self) {
+        loop {
+            let slot = (self.cursor % RING_BUCKETS as u64) as usize;
+            if !self.ring[slot].is_empty() {
+                if !self.sorted {
+                    // Descending, so ascending pops come off the back.
+                    self.ring[slot].sort_unstable_by_key(|e| std::cmp::Reverse(e.key));
+                    self.sorted = true;
+                }
+                return;
+            }
+            self.cursor += 1;
+            self.sorted = false;
+            if self.cursor.is_multiple_of(RING_BUCKETS as u64) && !self.far.is_empty() {
+                // Once per ring revolution: any overflow entry within
+                // RING_BUCKETS of the cursor is folded in before its
+                // ring slot could be reused for a later epoch.
+                self.refill_from_far();
+            }
+        }
+    }
+
+    /// Earliest scheduled completion time, if any.
+    pub fn peek_done(&mut self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        let slot = (self.cursor % RING_BUCKETS as u64) as usize;
+        Some(
+            self.ring[slot]
+                .last()
+                .expect("settled bucket nonempty")
+                .done,
+        )
+    }
+
+    /// Pop the earliest completion as `(done, backend, arrived)`.
+    pub fn pop(&mut self) -> Option<(f64, usize, f64)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        let slot = (self.cursor % RING_BUCKETS as u64) as usize;
+        let e = self.ring[slot].pop().expect("settled bucket nonempty");
+        self.len -= 1;
+        Some((e.done, e.key.1 as usize, e.arrived))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference order: the old global heap's ascending tuple order.
+    fn reference_sort(entries: &mut [(f64, usize, f64)]) {
+        entries.sort_by_key(|&(d, b, a)| (d.to_bits(), b, a.to_bits()));
+    }
+
+    #[test]
+    fn pops_in_heap_order_with_exact_tie_breaks() {
+        let mut q = CalendarQueue::new(0.06);
+        // Same done on different backends, same (done, backend) with
+        // different arrivals, plus spread-out times.
+        let mut items = vec![
+            (0.5, 2, 0.38),
+            (0.5, 1, 0.40),
+            (0.5, 1, 0.39),
+            (0.12, 0, 0.0),
+            (7.3, 4, 7.18),
+            (0.5000000001, 0, 0.38),
+        ];
+        for &(d, b, a) in &items {
+            q.push(d, b, a);
+        }
+        reference_sort(&mut items);
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped, items);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_matches_heap_semantics() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        // Drive both structures with the runner's access pattern:
+        // drain everything ≤ now, then push completions ≥ now + svc.
+        let svc = 0.12;
+        let mut q = CalendarQueue::new(svc * 0.5);
+        let mut heap: BinaryHeap<Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+        let mut now = 0.0;
+        let mut x: u64 = 42;
+        for step in 0..5000 {
+            // xorshift: cheap deterministic pseudo-times.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            now += (x % 97) as f64 * 0.001;
+            while let Some(done) = q.peek_done() {
+                if done > now {
+                    break;
+                }
+                let mine = q.pop().unwrap();
+                let Reverse((d, b, a)) = heap.pop().expect("heap has it too");
+                assert_eq!(
+                    (mine.0.to_bits(), mine.1, mine.2.to_bits()),
+                    (d, b, a),
+                    "divergence at step {step}"
+                );
+            }
+            let backlog = (x % 5) as f64 * svc;
+            let done = now + svc + backlog;
+            let backend = (x % 7) as usize;
+            q.push(done, backend, now);
+            heap.push(Reverse((done.to_bits(), backend, now.to_bits())));
+        }
+        // Final drain (the runner's end-of-run INFINITY drain).
+        while let Some(mine) = q.pop() {
+            let Reverse((d, b, a)) = heap.pop().expect("heap has it too");
+            assert_eq!((mine.0.to_bits(), mine.1, mine.2.to_bits()), (d, b, a));
+        }
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn far_overflow_survives_ring_wraparound() {
+        let mut q = CalendarQueue::new(0.01);
+        // One entry far beyond the ring horizon (1024 × 0.01 s), then
+        // a stream of near entries to walk the cursor past it.
+        q.push(100.0, 9, 0.0);
+        for k in 0..2000 {
+            q.push(0.02 + k as f64 * 0.05, 1, 0.0);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut seen_far = false;
+        while let Some((done, backend, _)) = q.pop() {
+            assert!(done >= last, "order violated: {done} after {last}");
+            last = done;
+            if backend == 9 {
+                seen_far = true;
+                assert_eq!(done, 100.0);
+            }
+        }
+        assert!(seen_far, "overflow entry must come back out");
+    }
+
+    #[test]
+    fn late_insert_into_current_bucket_stays_exact() {
+        let mut q = CalendarQueue::new(10.0); // deliberately too wide
+        q.push(1.0, 0, 0.0);
+        q.push(9.0, 0, 0.0);
+        assert_eq!(q.pop(), Some((1.0, 0, 0.0)));
+        // The cursor bucket [0, 10) is sorted now; these land in it.
+        q.push(3.0, 0, 0.0);
+        q.push(5.0, 1, 0.0);
+        q.push(3.0, 0, 0.0);
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(d, _, _)| d)).collect();
+        assert_eq!(order, vec![3.0, 3.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q = CalendarQueue::new(0.06);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_done(), None);
+        assert_eq!(q.pop(), None);
+        q.push(0.2, 0, 0.1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_done(), Some(0.2));
+        assert_eq!(q.pop(), Some((0.2, 0, 0.1)));
+        assert_eq!(q.pop(), None);
+    }
+}

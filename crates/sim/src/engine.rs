@@ -3,7 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use spotweb_telemetry::{names, TelemetrySink};
+use spotweb_telemetry::{names, CounterHandle, TelemetrySink};
 
 /// Events the cluster simulation processes.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,7 +92,8 @@ pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     seq: u64,
     now: f64,
-    telemetry: TelemetrySink,
+    scheduled_counter: CounterHandle,
+    processed_counter: CounterHandle,
 }
 
 impl EventQueue {
@@ -102,9 +103,12 @@ impl EventQueue {
     }
 
     /// Attach a telemetry sink; the queue counts scheduled and
-    /// processed events (`spotweb_sim_events_*_total`).
+    /// processed events (`spotweb_sim_events_*_total`). The counter
+    /// names are resolved to interned [`CounterHandle`]s up front so
+    /// the per-event increments skip the string lookup.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
-        self.telemetry = sink;
+        self.scheduled_counter = sink.counter_handle(names::SIM_EVENTS_SCHEDULED_TOTAL);
+        self.processed_counter = sink.counter_handle(names::SIM_EVENTS_PROCESSED_TOTAL);
     }
 
     /// Current simulation time (time of the last popped event).
@@ -139,14 +143,14 @@ impl EventQueue {
             event,
         });
         self.seq += 1;
-        self.telemetry.count(names::SIM_EVENTS_SCHEDULED_TOTAL, 1);
+        self.scheduled_counter.inc();
     }
 
     /// Pop the next event, advancing the clock.
     pub fn pop(&mut self) -> Option<(f64, Event)> {
         self.heap.pop().map(|s| {
             self.now = s.time;
-            self.telemetry.count(names::SIM_EVENTS_PROCESSED_TOTAL, 1);
+            self.processed_counter.inc();
             (s.time, s.event)
         })
     }

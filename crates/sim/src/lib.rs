@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod calendar;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
@@ -44,6 +45,7 @@ pub mod scenario;
 pub mod service;
 pub mod sweep;
 
+pub use calendar::CalendarQueue;
 pub use engine::{Event, EventQueue};
 pub use faults::{
     ChaosReport, ChaosScenario, FaultKind, FaultPlan, FaultSpec, InvariantChecker, RandomFault,

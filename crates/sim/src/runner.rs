@@ -15,9 +15,27 @@
 //!    latency/drop metrics.
 //!
 //! The interval length is configurable; request-level simulation is
-//! O(requests), so full three-week × 20 krps runs belong to the
-//! coarse harness in `spotweb-core::evaluate` — this runner is for
-//! latency-fidelity studies over hours, not weeks.
+//! O(requests), and the request loop is built so the per-request
+//! constant stays small enough for day- and week-scale runs at paper
+//! rates (§5's 20 krps Wikipedia trace) — see DESIGN.md's "Hot-path
+//! architecture". Three things keep the per-arrival cost down, all
+//! byte-identical to the straightforward structure they replaced:
+//!
+//! * **Control-event batching** — pending deaths, flaps, and restores
+//!   fire lazily at arrival times, so the loop computes the earliest
+//!   pending control timepoint once and runs arrivals up to it in a
+//!   tight loop touching only the balancer, the service queues, and
+//!   the completion calendar. Control scans, `LoadBalancer::tick`,
+//!   and the full invariant sweep run at control timepoints and
+//!   interval boundaries (every balancer read the tight loop performs
+//!   is time-lazy, so deferring `tick` is unobservable).
+//! * **Allocation-free queues** — [`ServiceModel`] runs on a fixed
+//!   slot array, and the global completion queue is a
+//!   [`crate::calendar::CalendarQueue`] (O(1) push/pop in the old
+//!   heap's exact total order).
+//! * **Interned counters** — per-request counters use
+//!   [`CounterHandle`]s resolved once per run instead of string-keyed
+//!   registry lookups per event.
 
 use rand::Rng;
 use rand::SeedableRng;
@@ -26,9 +44,10 @@ use rand_chacha::ChaCha8Rng;
 use spotweb_lb::{BackendState, LoadBalancer, LoadBalancerConfig, MonitorWindow, RouteOutcome};
 use spotweb_market::billing::{BillingModel, CostMeter};
 use spotweb_market::CloudSim;
-use spotweb_telemetry::{names, TelemetrySink, TraceEvent};
+use spotweb_telemetry::{names, CounterHandle, HistogramHandle, TelemetrySink, TraceEvent};
 use spotweb_workload::Trace;
 
+use crate::calendar::CalendarQueue;
 use crate::faults::{FaultKind, FaultPlan, InvariantChecker};
 use crate::metrics::LatencyRecorder;
 use crate::service::ServiceModel;
@@ -195,31 +214,39 @@ pub fn run_full_stack(
     let mut fleet_sizes = Vec::with_capacity(config.intervals);
     // Deferred deaths: (deadline, backend).
     let mut pending_deaths: Vec<(f64, usize)> = Vec::new();
-    // (completion_time, backend, arrival_time), min-ordered by time —
-    // persists across intervals so work spanning a boundary resolves.
-    let mut completions: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>> =
-        std::collections::BinaryHeap::new();
+    // (completion_time, backend, arrival_time) in a bucketed calendar
+    // queue popping in the exact min-heap order the runner always used
+    // — persists across intervals so work spanning a boundary resolves.
+    // Bucket width: half a base service time, comfortably under the
+    // queue's no-late-insert bound (every completion is scheduled at
+    // least one service time ahead of the clock).
+    let mut completions = CalendarQueue::new(config.service_secs * 0.5);
+    // Interned per-request counters: resolved once here, O(1) in the
+    // hot loop (see spotweb_telemetry::CounterHandle).
+    let served_counter = sink.counter_handle(names::REQUESTS_SERVED_TOTAL);
+    let killed_counter = sink.counter_handle(names::REQUESTS_KILLED_IN_FLIGHT_TOTAL);
+    let latency_hist = sink.histogram_handle(names::REQUEST_LATENCY_SECONDS);
     // Application-level monitoring (§5.2): the policy sees the arrival
     // rate the balancer *measured*, not the generator's ground truth.
     let mut monitor = MonitorWindow::new(config.interval_secs);
     #[allow(clippy::too_many_arguments)]
     fn drain_completions(
         upto: f64,
-        completions: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>>,
+        completions: &mut CalendarQueue,
         lb: &mut LoadBalancer,
         last_death: &[Option<f64>],
         recorder: &mut LatencyRecorder,
         monitor: &mut MonitorWindow,
         checker: &mut InvariantChecker,
-        sink: &TelemetrySink,
+        served_counter: &CounterHandle,
+        killed_counter: &CounterHandle,
+        latency_hist: &HistogramHandle,
     ) {
-        while let Some(&std::cmp::Reverse((done_bits, b, arr_bits))) = completions.peek() {
-            let done = f64::from_bits(done_bits);
+        while let Some(done) = completions.peek_done() {
             if done > upto {
                 break;
             }
-            completions.pop();
-            let arrived = f64::from_bits(arr_bits);
+            let (done, b, arrived) = completions.pop().expect("peeked entry");
             match last_death[b] {
                 // The server died while this request was in flight (a
                 // later restore does not save it).
@@ -227,15 +254,15 @@ pub fn run_full_stack(
                     recorder.record_drop(arrived);
                     monitor.record_dropped(arrived);
                     checker.on_dropped_in_flight();
-                    sink.count(names::REQUESTS_KILLED_IN_FLIGHT_TOTAL, 1);
+                    killed_counter.inc();
                 }
                 _ => {
                     recorder.record(arrived, done - arrived);
                     monitor.record_served(arrived, done - arrived);
                     lb.complete(b, None);
                     checker.on_served();
-                    sink.count(names::REQUESTS_SERVED_TOTAL, 1);
-                    sink.observe(names::REQUEST_LATENCY_SECONDS, done - arrived);
+                    served_counter.inc();
+                    latency_hist.observe(done - arrived);
                 }
             }
         }
@@ -524,9 +551,73 @@ pub fn run_full_stack(
         // real events so the balancer's in-flight counts (and with
         // them saturation detection, least-utilized fallback and
         // admission control) reflect genuine queue depth.
-        let mut now = t0 + exp_sample(&mut rng, trace.rate_at(t0).max(1e-6));
+        //
+        // Control events — deaths, flaps, restores — have always fired
+        // lazily at arrival times, so instead of scanning the pending
+        // lists per arrival the loop computes the earliest pending
+        // control timepoint and runs arrivals up to it in a tight loop
+        // that touches only the balancer, the service queues, and the
+        // completion calendar. The control scans, `lb.tick`, and the
+        // full invariant sweep run when an arrival crosses that
+        // timepoint (every balancer read below is time-lazy, so the
+        // deferred `tick` is unobservable — states promote on read).
+        //
+        // Arrivals follow the *true* trace rate (the generator is the
+        // outside world; only the policy sees measurements); the rate
+        // is constant within the interval, so it is sampled once.
+        let rate = trace.rate_at(t0).max(1e-6);
+        let mut now = t0 + exp_sample(&mut rng, rate);
         while now < t_end {
-            // Fire any deaths that came due.
+            // Earliest pending control timepoint in this interval.
+            let mut next_control = t_end;
+            for &(deadline, _) in &pending_deaths {
+                next_control = next_control.min(deadline);
+            }
+            for &(fire_time, _, _) in &pending_flaps {
+                next_control = next_control.min(fire_time);
+            }
+            for &(restore_time, _, _) in &pending_restores {
+                next_control = next_control.min(restore_time);
+            }
+
+            // The tight arrival run: no control is due before
+            // `next_control`, so the per-arrival scans would all no-op.
+            while now < t_end && now < next_control {
+                drain_completions(
+                    now,
+                    &mut completions,
+                    &mut lb,
+                    &last_death,
+                    &mut recorder,
+                    &mut monitor,
+                    &mut checker,
+                    &served_counter,
+                    &killed_counter,
+                    &latency_hist,
+                );
+                let session = rng.gen_range(0..config.sessions);
+                checker.on_arrival();
+                match lb.route(Some(session), now) {
+                    RouteOutcome::Routed(b) => {
+                        checker.on_route(&lb, b, now);
+                        let done = services[b].admit(now);
+                        completions.push(done, b, now);
+                    }
+                    RouteOutcome::Dropped => {
+                        checker.on_dropped_at_admission();
+                        recorder.record_drop(now);
+                        monitor.record_dropped(now);
+                    }
+                }
+                now += exp_sample(&mut rng, rate);
+            }
+            if now >= t_end {
+                break;
+            }
+
+            // Control timepoint crossed by the next arrival: fire
+            // everything due, in the order the per-arrival scans
+            // always used (deaths, then flaps, then restores).
             pending_deaths.retain(|&(deadline, id)| {
                 if deadline <= now {
                     lb.server_died(id, deadline);
@@ -572,36 +663,11 @@ pub fn run_full_stack(
                 services[id] = ServiceModel::new(cap, config.service_secs, restore_time + warmup);
                 alive[market].push(id);
             }
-            drain_completions(
-                now,
-                &mut completions,
-                &mut lb,
-                &last_death,
-                &mut recorder,
-                &mut monitor,
-                &mut checker,
-                &sink,
-            );
             lb.tick(now);
-            let session = rng.gen_range(0..config.sessions);
-            checker.on_arrival();
-            match lb.route(Some(session), now) {
-                RouteOutcome::Routed(b) => {
-                    checker.on_route(&lb, b, now);
-                    let done = services[b].admit(now);
-                    completions.push(std::cmp::Reverse((done.to_bits(), b, now.to_bits())));
-                }
-                RouteOutcome::Dropped => {
-                    checker.on_dropped_at_admission();
-                    recorder.record_drop(now);
-                    monitor.record_dropped(now);
-                }
-            }
             checker.check_tick(&lb, now);
-            // Arrivals follow the *true* trace rate (the generator is
-            // the outside world; only the policy sees measurements).
-            now += exp_sample(&mut rng, trace.rate_at(t0).max(1e-6));
         }
+        lb.tick(t_end);
+        checker.check_tick(&lb, t_end);
         drain_completions(
             t_end,
             &mut completions,
@@ -610,7 +676,9 @@ pub fn run_full_stack(
             &mut recorder,
             &mut monitor,
             &mut checker,
-            &sink,
+            &served_counter,
+            &killed_counter,
+            &latency_hist,
         );
         // Whatever still runs past the interval end resolves at the top
         // of the next interval (or here if the run is over).
@@ -623,7 +691,9 @@ pub fn run_full_stack(
                 &mut recorder,
                 &mut monitor,
                 &mut checker,
-                &sink,
+                &served_counter,
+                &killed_counter,
+                &latency_hist,
             );
         }
 

@@ -8,36 +8,34 @@
 //! wait + service. The model reproduces the paper's testbed behaviour:
 //! mean latency well under 200 ms below saturation and sharply growing
 //! queueing delay beyond it.
+//!
+//! Both internal queues are allocation-free after construction — this
+//! model sits inside the request-level hot loop and is exercised once
+//! per simulated request (see `benches/hot_path.rs`). The worker slots
+//! are a fixed-size implicit min-heap (`admit` is a replace-root +
+//! sift-down, never a push/pop pair on a growable heap), and the
+//! outstanding-completions queue is a sorted `VecDeque` that exploits
+//! the near-sorted order deterministic service times generate.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-/// Wrapper giving `f64` a total order (finite times only).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Finite(f64);
-impl Eq for Finite {}
-impl PartialOrd for Finite {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Finite {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("finite time")
-    }
-}
+use std::collections::VecDeque;
 
 /// The service queue of one backend server.
 #[derive(Debug, Clone)]
 pub struct ServiceModel {
-    /// Earliest-free times of the busy worker slots.
-    slots: BinaryHeap<Reverse<Finite>>,
+    /// Earliest-free times of the worker slots: a fixed-length
+    /// implicit min-heap (`slots[0]` is the earliest), one entry per
+    /// slot for the life of the model. `NEG_INFINITY` marks a slot
+    /// that has never served (free since forever), so stale past
+    /// free-times need no draining — `max(earliest, now)` is the
+    /// start time either way.
+    slots: Vec<f64>,
     /// Completion times of every request not yet known to be finished
     /// (drained lazily against the query clock) — the source of truth
-    /// for in-flight accounting and [`ServiceModel::kill`].
-    outstanding: BinaryHeap<Reverse<Finite>>,
-    /// Number of worker slots.
-    concurrency: usize,
+    /// for in-flight accounting and [`ServiceModel::kill`]. Kept
+    /// ascending; inserts scan from the back, which is O(1) amortized
+    /// because completions are generated near-sorted (out-of-order
+    /// pairs only straddle the cold→warm service-time boundary).
+    outstanding: VecDeque<f64>,
     /// Base per-request service time (seconds).
     pub service_secs: f64,
     /// Until this time the cache is cold and service takes
@@ -54,9 +52,8 @@ impl ServiceModel {
         assert!(capacity_rps > 0.0 && service_secs > 0.0);
         let concurrency = (capacity_rps * service_secs).round().max(1.0) as usize;
         ServiceModel {
-            slots: BinaryHeap::new(),
-            outstanding: BinaryHeap::new(),
-            concurrency,
+            slots: vec![f64::NEG_INFINITY; concurrency],
+            outstanding: VecDeque::new(),
             service_secs,
             warm_until,
             cold_factor: 2.0,
@@ -65,18 +62,55 @@ impl ServiceModel {
 
     /// Forget outstanding requests that completed by `now`.
     fn drain_outstanding(&mut self, now: f64) {
-        while let Some(Reverse(Finite(t))) = self.outstanding.peek() {
+        while let Some(t) = self.outstanding.front() {
             if *t <= now {
-                self.outstanding.pop();
+                self.outstanding.pop_front();
             } else {
                 break;
             }
         }
     }
 
+    /// Replace the earliest slot free-time with `done` and restore the
+    /// min-heap property (one sift-down, no allocation).
+    fn occupy_earliest(&mut self, done: f64) {
+        let n = self.slots.len();
+        self.slots[0] = done;
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut m = i;
+            if l < n && self.slots[l] < self.slots[m] {
+                m = l;
+            }
+            if r < n && self.slots[r] < self.slots[m] {
+                m = r;
+            }
+            if m == i {
+                break;
+            }
+            self.slots.swap(i, m);
+            i = m;
+        }
+    }
+
+    /// Record `done` in the outstanding queue, keeping it sorted.
+    fn push_outstanding(&mut self, done: f64) {
+        let mut idx = self.outstanding.len();
+        while idx > 0 && self.outstanding[idx - 1] > done {
+            idx -= 1;
+        }
+        if idx == self.outstanding.len() {
+            self.outstanding.push_back(done);
+        } else {
+            self.outstanding.insert(idx, done);
+        }
+    }
+
     /// Worker-slot count.
     pub fn concurrency(&self) -> usize {
-        self.concurrency
+        self.slots.len()
     }
 
     /// Requests queued or in service as of `now`.
@@ -93,30 +127,20 @@ impl ServiceModel {
 
     /// Admit a request at `now`; returns its completion time.
     pub fn admit(&mut self, now: f64) -> f64 {
-        // Discard slots that freed in the past.
-        while let Some(Reverse(Finite(t))) = self.slots.peek() {
-            if *t <= now && self.slots.len() >= self.concurrency {
-                self.slots.pop();
-            } else {
-                break;
-            }
-        }
-        let start = if self.slots.len() < self.concurrency {
-            now
-        } else {
-            // Wait for the earliest slot.
-            let Reverse(Finite(t)) = self.slots.pop().expect("nonempty");
-            t.max(now)
-        };
+        // A free slot (free-time ≤ now, including the never-used
+        // NEG_INFINITY sentinel) starts service immediately; otherwise
+        // the request waits for the earliest slot.
+        let earliest = self.slots[0];
+        let start = if earliest > now { earliest } else { now };
         let service = if start < self.warm_until {
             self.service_secs * self.cold_factor
         } else {
             self.service_secs
         };
         let done = start + service;
-        self.slots.push(Reverse(Finite(done)));
+        self.occupy_earliest(done);
         self.drain_outstanding(now);
-        self.outstanding.push(Reverse(Finite(done)));
+        self.push_outstanding(done);
         done
     }
 
@@ -127,7 +151,7 @@ impl ServiceModel {
         self.drain_outstanding(now);
         let dropped = self.outstanding.len();
         self.outstanding.clear();
-        self.slots.clear();
+        self.slots.fill(f64::NEG_INFINITY);
         dropped
     }
 }

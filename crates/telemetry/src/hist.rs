@@ -12,10 +12,11 @@
 //!
 //! Determinism: bucket boundaries are built by repeated
 //! multiplication and representatives by `sqrt`, both of which IEEE
-//! 754 requires to be correctly rounded. No `ln`/`exp` (libm, not
-//! bit-stable across platforms) is used anywhere, so histogram output
-//! is byte-identical across machines — a requirement for the golden
-//! trace fixtures.
+//! 754 requires to be correctly rounded. The only libm call (`log2`,
+//! not bit-stable across platforms) merely *seeds* the bucket search;
+//! the final index is always corrected against the exact boundary
+//! grid, so histogram output is byte-identical across machines — a
+//! requirement for the golden trace fixtures.
 
 use std::sync::{Arc, OnceLock};
 
@@ -33,6 +34,10 @@ pub const DEFAULT_GROWTH: f64 = 1.01;
 struct Layout {
     floor: f64,
     growth: f64,
+    /// `1 / log2(growth)` — seeds the bucket search in [`Layout::index_of`].
+    /// Only a starting guess; the result is always corrected against the
+    /// exact `bounds` grid, so libm imprecision cannot reach the output.
+    inv_log2_growth: f64,
     /// `bounds[i]..bounds[i+1]` is bucket `i`; `bounds.len() - 1` buckets.
     bounds: Arc<Vec<f64>>,
 }
@@ -49,6 +54,7 @@ impl Layout {
         Layout {
             floor,
             growth,
+            inv_log2_growth: 1.0 / growth.log2(),
             bounds: Arc::new(bounds),
         }
     }
@@ -71,8 +77,24 @@ impl Layout {
         if v >= *self.bounds.last().expect("layout has at least two bounds") {
             return self.n_buckets() - 1;
         }
-        // First boundary strictly above v, minus one.
-        self.bounds.partition_point(|&b| b <= v) - 1
+        // Seed with a log2 estimate (hot-path replacement for a ~12-probe
+        // binary search over the grid), then walk to the exact bucket.
+        // The walk compares only against the exact repeated-multiplication
+        // `bounds`, so the returned index is identical to what
+        // `partition_point(|&b| b <= v) - 1` yields — any libm log2
+        // imprecision costs at most an extra step, never a different
+        // answer. In practice the estimate is off by at most one bucket
+        // (cumulative grid rounding drift is ~1e-13 relative, i.e.
+        // ~1e-11 buckets), so the walk is one or two comparisons.
+        let est = ((v / self.floor).log2() * self.inv_log2_growth) as usize;
+        let mut i = est.min(self.n_buckets() - 1);
+        while self.bounds[i] > v {
+            i -= 1;
+        }
+        while self.bounds[i + 1] <= v {
+            i += 1;
+        }
+        i
     }
 
     /// Geometric mean of the bucket bounds (correctly rounded sqrt).
@@ -386,6 +408,39 @@ mod tests {
         // Percentiles clamp into the exact observed range.
         assert!(h.percentile(0.0) >= 1e-9);
         assert!(h.percentile(100.0) <= 1e7);
+    }
+
+    #[test]
+    fn seeded_index_search_matches_binary_search() {
+        // The log2-seeded bucket search must place every sample in
+        // exactly the bucket a pure binary search over the grid would
+        // pick — including values sitting on (or one ulp either side
+        // of) a boundary, where a sloppy estimate+round would go wrong.
+        let layout = Layout::default_shared();
+        let reference = |v: f64| -> usize {
+            if v <= layout.bounds[0] {
+                return 0;
+            }
+            if v >= *layout.bounds.last().unwrap() {
+                return layout.n_buckets() - 1;
+            }
+            layout.bounds.partition_point(|&b| b <= v) - 1
+        };
+        for (i, &b) in layout.bounds.iter().enumerate() {
+            for v in [b, b.next_down(), b.next_up(), b * 1.004999] {
+                assert_eq!(
+                    layout.index_of(v),
+                    reference(v),
+                    "bound {i} probe {v:e} diverged from binary search"
+                );
+            }
+        }
+        let mut rng = XorShift(0xD1CE_0001);
+        for _ in 0..100_000 {
+            // Log-uniform across the full grid plus out-of-range tails.
+            let v = 1e-7 * (1e13_f64).powf(rng.next_f64());
+            assert_eq!(layout.index_of(v), reference(v), "probe {v:e}");
+        }
     }
 
     #[test]

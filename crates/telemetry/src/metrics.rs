@@ -70,6 +70,21 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Install `h` as the histogram for `name`, replacing any previous
+    /// state. Used by the sink's interned fast path, whose dedicated
+    /// slot is the authoritative accumulator for the name: reads clone
+    /// the slot in wholesale rather than merging partial deltas, which
+    /// keeps the floating-point `sum` identical to sequential
+    /// recording.
+    pub fn histogram_set(&mut self, name: &str, h: StreamingHistogram) {
+        match self.histograms.get_mut(name) {
+            Some(slot) => *slot = h,
+            None => {
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
     /// Render every metric in Prometheus text exposition format.
     /// Histograms render as summaries with p50/p90/p99 quantiles.
     /// Output is deterministic: names sort lexicographically and all

@@ -73,3 +73,42 @@ pub const SIM_EVENTS_SCHEDULED_TOTAL: &str = "spotweb_sim_events_scheduled_total
 
 /// Counter: discrete events popped and processed by the simulator.
 pub const SIM_EVENTS_PROCESSED_TOTAL: &str = "spotweb_sim_events_processed_total";
+
+/// Counters eligible for the interned fast path
+/// ([`crate::sink::CounterHandle`]): the per-event counters the
+/// request-level hot loops increment once (or more) per simulated
+/// request. Each gets a dense slot indexed by its position here;
+/// the slots are merged back into the ordinary registry on every
+/// export, so interning never changes rendered output.
+pub const INTERNED: &[&str] = &[
+    REQUESTS_SERVED_TOTAL,
+    REQUESTS_KILLED_IN_FLIGHT_TOTAL,
+    LB_ADMISSION_REJECTIONS_TOTAL,
+    LB_NO_BACKEND_DROPS_TOTAL,
+    SIM_EVENTS_SCHEDULED_TOTAL,
+    SIM_EVENTS_PROCESSED_TOTAL,
+];
+
+/// Stable dense id of an interned counter name, if it has one.
+/// Resolved once at [`CounterHandle`] creation, never per increment.
+///
+/// [`CounterHandle`]: crate::sink::CounterHandle
+pub fn interned_id(name: &str) -> Option<usize> {
+    INTERNED.iter().position(|n| *n == name)
+}
+
+/// Histograms eligible for the interned fast path
+/// ([`crate::sink::HistogramHandle`]): the per-request latency series
+/// the simulator observes once per served request. Each name gets a
+/// dedicated locked histogram that is the *authoritative* store for
+/// that series — string-keyed [`observe`] calls for these names route
+/// to the same slot, so the sample sequence is identical no matter
+/// which path recorded it.
+///
+/// [`observe`]: crate::sink::TelemetrySink::observe
+pub const HIST_INTERNED: &[&str] = &[REQUEST_LATENCY_SECONDS];
+
+/// Stable dense id of an interned histogram name, if it has one.
+pub fn interned_hist_id(name: &str) -> Option<usize> {
+    HIST_INTERNED.iter().position(|n| *n == name)
+}

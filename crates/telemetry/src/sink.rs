@@ -9,10 +9,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::hist::StreamingHistogram;
 use crate::json::json_f64;
 use crate::metrics::MetricsRegistry;
+use crate::names;
 use crate::trace::{StampedEvent, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
 
 /// Wall-clock timing aggregate for one named operation. Kept in a
@@ -43,11 +46,119 @@ pub struct Telemetry {
     clock: f64,
 }
 
+/// The store behind an enabled sink: the locked [`Telemetry`] plus a
+/// dense lock-free slot per interned counter ([`names::INTERNED`]) and
+/// a dedicated locked histogram per interned histogram name
+/// ([`names::HIST_INTERNED`]). Interned increments land in the slots
+/// without taking the store lock or allocating; every read path merges
+/// the slots back into the ordinary registry first, so rendered output
+/// never depends on which path a counter took.
+///
+/// The histogram slots use replace-on-read rather than merge-on-read:
+/// each slot is the *only* place samples for its name accumulate
+/// (string-keyed [`TelemetrySink::observe`] calls route here too), so
+/// a read clones the slot into the registry wholesale. That keeps the
+/// exported `sum` bit-identical to sequential recording — a partial
+/// merge would re-associate the floating-point additions.
+#[derive(Debug)]
+struct SinkShared {
+    store: Mutex<Telemetry>,
+    dense: Vec<AtomicU64>,
+    hist_dense: Vec<Mutex<StreamingHistogram>>,
+}
+
+impl SinkShared {
+    /// Merge the dense slots into the registry (caller holds the lock).
+    fn flush_dense(&self, tel: &mut Telemetry) {
+        for (id, slot) in self.dense.iter().enumerate() {
+            let v = slot.swap(0, Ordering::Relaxed);
+            if v > 0 {
+                tel.metrics.counter_add(names::INTERNED[id], v);
+            }
+        }
+        for (id, slot) in self.hist_dense.iter().enumerate() {
+            let h = slot.lock().expect("telemetry hist lock poisoned");
+            if !h.is_empty() {
+                tel.metrics
+                    .histogram_set(names::HIST_INTERNED[id], h.clone());
+            }
+        }
+    }
+}
+
+/// An O(1), allocation-free increment handle to one counter of one
+/// sink, resolved once via [`TelemetrySink::counter_handle`].
+///
+/// The hot-loop replacement for [`TelemetrySink::count`], whose
+/// per-call cost (mutex + `String` allocation + `BTreeMap` probe) is
+/// measurable at millions of increments per second. An interned name
+/// (see [`names::INTERNED`]) increments a dense atomic slot; a
+/// non-interned name falls back to the ordinary slow path; a handle
+/// from a disabled sink is a no-op. All three are observationally
+/// identical — exports are byte-for-byte the same either way.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle {
+    fast: Option<(Arc<SinkShared>, usize)>,
+    slow: Option<(Arc<SinkShared>, &'static str)>,
+}
+
+impl CounterHandle {
+    /// Add `delta` to the counter (no-op when the sink is disabled).
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some((shared, id)) = &self.fast {
+            shared.dense[*id].fetch_add(delta, Ordering::Relaxed);
+        } else if let Some((shared, name)) = &self.slow {
+            let mut tel = shared.store.lock().expect("telemetry lock poisoned");
+            tel.metrics.counter_add(name, delta);
+        }
+    }
+
+    /// Increment the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// An allocation-free sample handle to one streaming histogram of one
+/// sink, resolved once via [`TelemetrySink::histogram_handle`].
+///
+/// The hot-loop replacement for [`TelemetrySink::observe`], whose
+/// per-call cost (store mutex + `String` allocation + `BTreeMap`
+/// probe) dominates the drain path at millions of served requests per
+/// second. An interned name ([`names::HIST_INTERNED`]) records into
+/// the name's dedicated slot — the authoritative store for that
+/// series — under its own uncontended lock; a non-interned name falls
+/// back to the ordinary slow path; a handle from a disabled sink is a
+/// no-op. Exports are byte-for-byte identical on every path.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle {
+    fast: Option<(Arc<SinkShared>, usize)>,
+    slow: Option<(Arc<SinkShared>, &'static str)>,
+}
+
+impl HistogramHandle {
+    /// Fold `v` into the histogram (no-op when the sink is disabled).
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        if let Some((shared, id)) = &self.fast {
+            shared.hist_dense[*id]
+                .lock()
+                .expect("telemetry hist lock poisoned")
+                .record(v);
+        } else if let Some((shared, name)) = &self.slow {
+            let mut tel = shared.store.lock().expect("telemetry lock poisoned");
+            tel.metrics.observe(name, v);
+        }
+    }
+}
+
 /// Cheap cloneable handle to a shared [`Telemetry`] store; disabled
 /// (all calls no-ops) by default.
 #[derive(Clone, Default)]
 pub struct TelemetrySink {
-    inner: Option<Arc<Mutex<Telemetry>>>,
+    inner: Option<Arc<SinkShared>>,
 }
 
 impl fmt::Debug for TelemetrySink {
@@ -74,10 +185,17 @@ impl TelemetrySink {
     /// An enabled sink retaining at most `capacity` trace events.
     pub fn with_capacity(capacity: usize) -> Self {
         TelemetrySink {
-            inner: Some(Arc::new(Mutex::new(Telemetry {
-                tracer: Tracer::with_capacity(capacity),
-                ..Telemetry::default()
-            }))),
+            inner: Some(Arc::new(SinkShared {
+                store: Mutex::new(Telemetry {
+                    tracer: Tracer::with_capacity(capacity),
+                    ..Telemetry::default()
+                }),
+                dense: names::INTERNED.iter().map(|_| AtomicU64::new(0)).collect(),
+                hist_dense: names::HIST_INTERNED
+                    .iter()
+                    .map(|_| Mutex::new(StreamingHistogram::new()))
+                    .collect(),
+            })),
         }
     }
 
@@ -86,10 +204,60 @@ impl TelemetrySink {
         self.inner.is_some()
     }
 
+    /// Resolve an O(1) increment handle for `name` (see
+    /// [`CounterHandle`]). The name lookup happens here, once; the
+    /// returned handle never locks, allocates, or compares strings on
+    /// the interned fast path.
+    pub fn counter_handle(&self, name: &'static str) -> CounterHandle {
+        match &self.inner {
+            None => CounterHandle::default(),
+            Some(shared) => match names::interned_id(name) {
+                Some(id) => CounterHandle {
+                    fast: Some((Arc::clone(shared), id)),
+                    slow: None,
+                },
+                None => CounterHandle {
+                    fast: None,
+                    slow: Some((Arc::clone(shared), name)),
+                },
+            },
+        }
+    }
+
+    /// Resolve an allocation-free sample handle for `name` (see
+    /// [`HistogramHandle`]). The name lookup happens here, once.
+    pub fn histogram_handle(&self, name: &'static str) -> HistogramHandle {
+        match &self.inner {
+            None => HistogramHandle::default(),
+            Some(shared) => match names::interned_hist_id(name) {
+                Some(id) => HistogramHandle {
+                    fast: Some((Arc::clone(shared), id)),
+                    slow: None,
+                },
+                None => HistogramHandle {
+                    fast: None,
+                    slow: Some((Arc::clone(shared), name)),
+                },
+            },
+        }
+    }
+
     fn with<R>(&self, f: impl FnOnce(&mut Telemetry) -> R) -> Option<R> {
         self.inner
             .as_ref()
-            .map(|m| f(&mut m.lock().expect("telemetry lock poisoned")))
+            .map(|m| f(&mut m.store.lock().expect("telemetry lock poisoned")))
+    }
+
+    /// Like [`with`](Self::with), but merges the dense interned-counter
+    /// slots into the registry first — every path that *reads* metrics
+    /// goes through here so [`CounterHandle`] increments are always
+    /// visible and exports stay byte-identical to the slow path.
+    fn with_flushed<R>(&self, f: impl FnOnce(&mut Telemetry) -> R) -> Option<R> {
+        self.inner.as_ref().map(|m| {
+            let mut tel = m.store.lock().expect("telemetry lock poisoned");
+            m.flush_dense(&mut tel);
+            f(&mut tel)
+        })
     }
 
     /// Set the ambient simulation clock; subsequent [`emit`](Self::emit)
@@ -142,7 +310,8 @@ impl TelemetrySink {
 
     /// Read a named counter (0 when disabled or never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.with(|tel| tel.metrics.counter(name)).unwrap_or(0)
+        self.with_flushed(|tel| tel.metrics.counter(name))
+            .unwrap_or(0)
     }
 
     /// Set a named gauge.
@@ -150,9 +319,24 @@ impl TelemetrySink {
         self.with(|tel| tel.metrics.gauge_set(name, v));
     }
 
-    /// Fold a sample into a named streaming histogram.
+    /// Fold a sample into a named streaming histogram. Interned names
+    /// ([`names::HIST_INTERNED`]) record into the name's dedicated
+    /// slot — the same one [`HistogramHandle`] uses — so the sample
+    /// sequence stays in one place regardless of the call path.
     pub fn observe(&self, name: &str, v: f64) {
-        self.with(|tel| tel.metrics.observe(name, v));
+        let Some(shared) = &self.inner else { return };
+        match names::interned_hist_id(name) {
+            Some(id) => shared.hist_dense[id]
+                .lock()
+                .expect("telemetry hist lock poisoned")
+                .record(v),
+            None => shared
+                .store
+                .lock()
+                .expect("telemetry lock poisoned")
+                .metrics
+                .observe(name, v),
+        }
     }
 
     /// Record a wall-clock duration for a named operation. Kept out
@@ -193,14 +377,14 @@ impl TelemetrySink {
     /// Render the metrics registry in Prometheus text format (empty
     /// when disabled).
     pub fn render_prometheus(&self) -> String {
-        self.with(|tel| tel.metrics.render_prometheus())
+        self.with_flushed(|tel| tel.metrics.render_prometheus())
             .unwrap_or_default()
     }
 
     /// Run `f` against the shared metrics registry (no-op when
     /// disabled). For read access that needs more than one value.
     pub fn with_metrics<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
-        self.with(|tel| f(&tel.metrics))
+        self.with_flushed(|tel| f(&tel.metrics))
     }
 
     /// Render the wall-clock timing aggregates as a JSON object
@@ -270,6 +454,85 @@ mod tests {
         let events = a.events();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].t, 10.0);
+    }
+
+    #[test]
+    fn counter_handle_is_indistinguishable_from_count() {
+        // Two sinks, same increments: one through the interned handle,
+        // one through the slow path. Every export must be identical.
+        let fast = TelemetrySink::enabled();
+        let slow = TelemetrySink::enabled();
+        let h = fast.counter_handle(names::REQUESTS_SERVED_TOTAL);
+        for _ in 0..3 {
+            h.inc();
+            slow.count(names::REQUESTS_SERVED_TOTAL, 1);
+        }
+        h.add(4);
+        slow.count(names::REQUESTS_SERVED_TOTAL, 4);
+        fast.count("spotweb_other_total", 2);
+        slow.count("spotweb_other_total", 2);
+        assert_eq!(fast.counter(names::REQUESTS_SERVED_TOTAL), 7);
+        assert_eq!(fast.render_prometheus(), slow.render_prometheus());
+        // Reads are repeatable (the flush is a merge, not a reset of
+        // the visible value).
+        assert_eq!(fast.counter(names::REQUESTS_SERVED_TOTAL), 7);
+    }
+
+    #[test]
+    fn counter_handle_fallbacks() {
+        // A non-interned name still counts, through the slow path.
+        let sink = TelemetrySink::enabled();
+        let h = sink.counter_handle("spotweb_custom_total");
+        h.add(5);
+        assert_eq!(sink.counter("spotweb_custom_total"), 5);
+        // A disabled sink yields a no-op handle.
+        let off = TelemetrySink::disabled().counter_handle(names::REQUESTS_SERVED_TOTAL);
+        off.inc();
+        assert_eq!(
+            TelemetrySink::disabled().counter(names::REQUESTS_SERVED_TOTAL),
+            0
+        );
+    }
+
+    #[test]
+    fn histogram_handle_is_indistinguishable_from_observe() {
+        // Same samples through three paths: the interned handle, the
+        // string-keyed sink call (which routes to the same slot), and
+        // a slow-path-only sink using a non-interned name. Renders
+        // must agree bit-for-bit, including the floating-point sum.
+        let fast = TelemetrySink::enabled();
+        let slow = TelemetrySink::enabled();
+        let h = fast.histogram_handle(names::REQUEST_LATENCY_SECONDS);
+        let samples = [0.125, 0.0625, 3.5, 0.125, 0.01171875];
+        for (k, v) in samples.iter().enumerate() {
+            if k % 2 == 0 {
+                h.observe(*v);
+            } else {
+                fast.observe(names::REQUEST_LATENCY_SECONDS, *v);
+            }
+            slow.observe(names::REQUEST_LATENCY_SECONDS, *v);
+        }
+        assert_eq!(fast.render_prometheus(), slow.render_prometheus());
+        // Reads are repeatable (replace-on-read, not merge-on-read).
+        assert_eq!(fast.render_prometheus(), slow.render_prometheus());
+        // The slow fallback and the disabled no-op still work.
+        let custom = fast.histogram_handle("spotweb_custom_seconds");
+        custom.observe(1.0);
+        assert!(fast
+            .with_metrics(|m| m.histogram("spotweb_custom_seconds").is_some())
+            .unwrap());
+        TelemetrySink::disabled()
+            .histogram_handle(names::REQUEST_LATENCY_SECONDS)
+            .observe(1.0);
+    }
+
+    #[test]
+    fn handles_share_the_store_with_clones() {
+        let a = TelemetrySink::enabled();
+        let b = a.clone();
+        let h = b.counter_handle(names::SIM_EVENTS_PROCESSED_TOTAL);
+        h.add(2);
+        assert_eq!(a.counter(names::SIM_EVENTS_PROCESSED_TOTAL), 2);
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Seed-swept equivalence suite for the fast-path runner (ISSUE 5).
+//!
+//! The hot-loop restructuring (control-event batching, fixed-slot
+//! service queues, calendar completion queue, interned telemetry
+//! handles) is only admissible because it is *behaviour-invisible*:
+//! every simulated quantity must be byte-identical to what the
+//! straight-line loop produced. These tests pin that contract against
+//! recorded goldens:
+//!
+//! * `tests/golden/runner_equivalence.jsonl` — full sweep-grid
+//!   summaries (2 policies × 5 scenarios) at seeds 1234, 7 and 99,
+//!   captured before the fast-path landed.
+//! * `tests/golden/chaos_reports.json` — the named chaos scenario
+//!   reports (`figures chaos` output), same vintage.
+//!
+//! Regenerate (only after an *intentional* behaviour change):
+//!
+//! ```text
+//! for s in 1234 7 99; do figures sweep --seed $s --jobs 1; done \
+//!     > tests/golden/runner_equivalence.jsonl   # stdout only
+//! figures chaos > tests/golden/chaos_reports.json
+//! ```
+
+use spotweb::sim::sweep::digest;
+use spotweb::sim::{ChaosScenario, NAMED_SCENARIOS};
+use spotweb_bench::perf;
+use spotweb_bench::sweep::{build_grid, run_grid};
+use spotweb_bench::DEFAULT_SEED;
+
+/// Seeds the equivalence golden was recorded at. Three seeds so a
+/// regression that happens to cancel out at one RNG stream still
+/// trips the suite.
+const GOLDEN_SEEDS: [u64; 3] = [1234, 7, 99];
+
+fn golden_lines() -> Vec<&'static str> {
+    include_str!("golden/runner_equivalence.jsonl")
+        .lines()
+        .collect()
+}
+
+/// The batched hot loop reproduces the recorded sweep grid byte for
+/// byte at every golden seed — summaries, not just digests, so a
+/// mismatch names the exact run that diverged.
+#[test]
+fn sweep_grid_matches_pre_fastpath_golden_at_three_seeds() {
+    let golden = golden_lines();
+    let mut cursor = 0;
+    for seed in GOLDEN_SEEDS {
+        let grid = build_grid(None, seed).expect("full grid builds");
+        // `--jobs 4`: exercises the parallel path too; the golden was
+        // recorded serially, so this doubles as a jobs-1 ≡ jobs-J check.
+        let results = run_grid(4, grid);
+        for r in &results {
+            let line = r.summary.to_json();
+            assert_eq!(
+                line,
+                golden[cursor],
+                "seed {seed}: run {} diverged from pre-fast-path golden",
+                r.summary.label()
+            );
+            cursor += 1;
+        }
+    }
+    assert_eq!(
+        cursor,
+        golden.len(),
+        "golden file has runs the grid no longer produces"
+    );
+}
+
+/// Chaos scenario reports — drops, migrations, invariant counters,
+/// per-phase timelines — are byte-identical to the recorded
+/// `figures chaos` output.
+#[test]
+fn chaos_reports_match_pre_fastpath_golden() {
+    let rendered: Vec<String> = NAMED_SCENARIOS
+        .iter()
+        .map(|name| {
+            let mut scenario = ChaosScenario::named(name);
+            scenario.seed = DEFAULT_SEED;
+            scenario.run().to_json_pretty()
+        })
+        .collect();
+    let joined = rendered.join("\n\n") + "\n";
+    let golden = include_str!("golden/chaos_reports.json");
+    assert_eq!(
+        joined, golden,
+        "chaos reports diverged from the pre-fast-path golden"
+    );
+}
+
+/// Week-scale smoke: one simulated week of the revocation-storm fault
+/// plan. Offered load is scaled down (the acceptance-scale 20 krps ×
+/// day run lives behind `figures perf --full`; at test scale the point
+/// is that the calendar queue, fixed-slot services and control-event
+/// batching survive 168 intervals and ~1.2 M arrivals without drift).
+#[test]
+fn week_scale_smoke_run_stays_sane() {
+    let rps = 2.0;
+    let run =
+        perf::run_one("revocation-storm", DEFAULT_SEED, rps, 3600.0, 168).expect("known scenario");
+    assert_eq!(run.simulated_secs, 604_800.0, "one simulated week");
+    assert_eq!(
+        run.arrivals,
+        run.summary.served + run.summary.dropped,
+        "request conservation"
+    );
+    // Poisson arrivals at rate λ over horizon T: within 5σ of λT.
+    let expected = rps * run.simulated_secs;
+    let sigma = expected.sqrt();
+    assert!(
+        (run.arrivals as f64 - expected).abs() < 5.0 * sigma,
+        "arrival count {} implausible for Poisson mean {expected}",
+        run.arrivals
+    );
+    assert!(
+        run.summary.drop_fraction < 0.05,
+        "storm with warnings must not collapse at week scale: {}",
+        run.summary.drop_fraction
+    );
+}
+
+/// Determinism double-run at perf scale: two invocations produce the
+/// same summary bytes and the same digest (wall clock aside).
+#[test]
+fn perf_entries_are_deterministic_across_runs() {
+    let a = perf::run_one("backend-flaps", 99, 400.0, 120.0, 3).expect("known scenario");
+    let b = perf::run_one("backend-flaps", 99, 400.0, 120.0, 3).expect("known scenario");
+    assert_eq!(a.summary.to_json(), b.summary.to_json());
+    assert_eq!(a.arrivals, b.arrivals);
+    assert_eq!(
+        digest(std::slice::from_ref(&a.summary)),
+        digest(std::slice::from_ref(&b.summary)),
+        "digest must be a pure function of the summary"
+    );
+}
