@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures <command> [--seed N] [--intervals N] [--workload wikipedia|vod]
-//!         [--scenario NAME] [--summary] [--out DIR] [--jobs J] [--full]
+//!         [--scenario NAME] [--policy NAME] [--summary] [--out DIR]
+//!         [--jobs J] [--full]
 //!
 //! commands:
 //!   fig3        workload traces (Fig. 3a/3b)
@@ -28,6 +29,14 @@
 //!               summaries, verifies they match a --jobs 1 pass, and
 //!               writes BENCH_sweep.json (wall-clock, speedup,
 //!               warm-vs-cold solver iterations) to --out DIR
+//!   tournament  policy-zoo leaderboard: every registered policy ×
+//!               chaos scenario × tournament seed through the full
+//!               stack; prints the ranked table (normalized cost, SLO
+//!               violations, drops, revocation survival), verifies a
+//!               --jobs J pass matches --jobs 1 byte-for-byte, and
+//!               writes tournament_leaderboard.json (deterministic)
+//!               plus BENCH_tournament.json (wall-clock quarantined)
+//!               to --out DIR; --policy/--scenario restrict the grid
 //!   perf        request-level simulator throughput: replay every
 //!               trace scenario at high offered load, print byte-stable
 //!               per-scenario JSON summaries, and write
@@ -38,7 +47,8 @@
 //!               workspace; with --out DIR also writes the byte-stable
 //!               lint_report.json. Non-zero exit on unsuppressed
 //!               findings (same engine as `cargo run -p spotweb-lint`)
-//!   all         everything above (except trace/report/sweep/perf/lint)
+//!   all         everything above (except trace/report/sweep/
+//!               tournament/perf/lint)
 //! ```
 //!
 //! `--jobs` is accepted by every subcommand so wrapper scripts can
@@ -61,6 +71,9 @@ struct Args {
     intervals: usize,
     workload: Fig6bWorkload,
     scenario: Option<String>,
+    /// `tournament` only: restrict the grid to one registered policy
+    /// (hyphens/underscores interchangeable).
+    policy: Option<String>,
     summary: bool,
     out: Option<String>,
     /// Worker threads for `sweep`; accepted (and currently a no-op) on
@@ -79,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         intervals: THREE_WEEKS_HOURS,
         workload: Fig6bWorkload::Wikipedia,
         scenario: None,
+        policy: None,
         summary: false,
         out: None,
         jobs: 1,
@@ -109,6 +123,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--scenario" => {
                 out.scenario = Some(args.next().ok_or("--scenario needs a value")?);
+            }
+            "--policy" => {
+                out.policy = Some(args.next().ok_or("--policy needs a value")?);
             }
             "--summary" => out.summary = true,
             "--full" => out.full = true,
@@ -435,6 +452,38 @@ fn run(args: &Args) -> Result<(), String> {
                 path.display()
             );
         }
+        "tournament" => {
+            use spotweb_bench::tournament;
+            let output = tournament::run_command(
+                args.jobs,
+                args.policy.as_deref(),
+                args.scenario.as_deref(),
+            )?;
+            // Ranked table on stdout; wall-clock and digests on stderr
+            // + BENCH_tournament.json only.
+            print!("{}", output.table);
+            if !output.digests_match {
+                return Err(format!(
+                    "tournament at --jobs {} diverged from --jobs 1 (determinism contract violated)",
+                    args.jobs
+                ));
+            }
+            let dir = std::path::Path::new(args.out.as_deref().unwrap_or("."));
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            let board_path = dir.join("tournament_leaderboard.json");
+            std::fs::write(&board_path, &output.leaderboard_json)
+                .map_err(|e| format!("write {}: {e}", board_path.display()))?;
+            let bench_path = dir.join("BENCH_tournament.json");
+            std::fs::write(&bench_path, &output.bench_json)
+                .map_err(|e| format!("write {}: {e}", bench_path.display()))?;
+            eprintln!(
+                "tournament: digests match at --jobs {} vs --jobs 1; speedup {:.2}x; wrote {} and {}",
+                args.jobs,
+                output.speedup,
+                board_path.display(),
+                bench_path.display()
+            );
+        }
         "perf" => {
             use spotweb_bench::perf;
             let output = perf::run_command(seed, args.full)?;
@@ -495,6 +544,7 @@ fn run(args: &Args) -> Result<(), String> {
                     intervals: args.intervals,
                     workload: args.workload,
                     scenario: args.scenario.clone(),
+                    policy: args.policy.clone(),
                     summary: args.summary,
                     out: None,
                     jobs: args.jobs,
@@ -513,7 +563,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|perf|lint|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--summary] [--out DIR] [--jobs J] [--full]");
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|tournament|perf|lint|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--policy NAME] [--summary] [--out DIR] [--jobs J] [--full]");
             return ExitCode::from(2);
         }
     };

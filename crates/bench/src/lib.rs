@@ -17,6 +17,7 @@
 //! | [`discussion`] | §7 provider portability: EC2 vs GCP vs Azure profiles |
 //! | [`telem`] | `figures trace`/`report` — full-stack telemetry replay of the chaos scenarios |
 //! | [`sweep`] | `figures sweep` — deterministic parallel policy × scenario × seed grid + `BENCH_sweep.json` |
+//! | [`tournament`] | `figures tournament` — policy-zoo leaderboard over the full grid + `BENCH_tournament.json` |
 //! | [`perf`] | `figures perf` — request-level simulator throughput record + `BENCH_runner.json` |
 
 #![forbid(unsafe_code)]
@@ -32,6 +33,7 @@ pub mod fig7;
 pub mod perf;
 pub mod sweep;
 pub mod telem;
+pub mod tournament;
 
 /// Default seed used across the harness so every figure is
 /// reproducible end-to-end.

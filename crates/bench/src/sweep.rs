@@ -25,7 +25,7 @@
 //! * `warm_start` — mean ADMM iterations per MPO solve with the
 //!   receding-horizon warm start on vs off (see [`warm_start_probe`]).
 
-use spotweb_core::{ForecastBundle, MpoOptimizer, SpotWebConfig, SpotWebPolicy};
+use spotweb_core::{build_policy, ForecastBundle, MpoOptimizer, SpotWebConfig, ZooConfig};
 use spotweb_linalg::Matrix;
 use spotweb_market::{Catalog, CloudSim};
 use spotweb_sim::sweep::{digest, run_sweep, RunSummary, SweepResult};
@@ -34,7 +34,7 @@ use spotweb_telemetry::json::{json_f64, json_string};
 use spotweb_telemetry::{names, TelemetrySink};
 use spotweb_workload::Trace;
 
-use crate::telem::{normalize_scenario, scenario_setup, MpoBridge, TRACE_SCENARIOS};
+use crate::telem::{normalize_scenario, scenario_setup, CorePolicyBridge, TRACE_SCENARIOS};
 
 /// Policy names the sweep grid runs.
 pub const SWEEP_POLICIES: &[&str] = &["spotweb", "reactive"];
@@ -109,27 +109,32 @@ pub fn run_one(spec: &SweepSpec) -> RunSummary {
     cloud.warm_up(8);
     let trace = Trace::new(interval_secs, vec![300.0; intervals + 2]);
 
-    let report = match spec.policy.as_str() {
-        "spotweb" => {
-            let policy = SpotWebPolicy::new(
-                SpotWebConfig {
-                    interval_secs,
-                    ..SpotWebConfig::default()
-                },
-                catalog.len(),
-            )
-            .with_telemetry(sink.clone());
-            let mut bridge = MpoBridge { policy, catalog };
-            run_full_stack(&mut bridge, &mut cloud, &trace, &config)
-        }
-        "reactive" => {
-            let mut policy = ReactiveCheapestPolicy {
-                headroom: 1.3,
-                capacities: catalog.markets().iter().map(|m| m.capacity_rps()).collect(),
-            };
-            run_full_stack(&mut policy, &mut cloud, &trace, &config)
-        }
-        other => panic!("unknown sweep policy {other:?}"),
+    let report = if spec.policy == "reactive" {
+        // The runner's built-in baseline is not a `spotweb_core::Policy`
+        // — it stays outside the factory.
+        let mut policy = ReactiveCheapestPolicy {
+            headroom: 1.3,
+            capacities: catalog.markets().iter().map(|m| m.capacity_rps()).collect(),
+        };
+        run_full_stack(&mut policy, &mut cloud, &trace, &config)
+    } else {
+        // Everything else — spotweb and the policy zoo — builds through
+        // the shared factory, so the sweep, the tournament and the CLI
+        // agree on what each name means.
+        let policy = build_policy(
+            &spec.policy,
+            &SpotWebConfig {
+                interval_secs,
+                ..SpotWebConfig::default()
+            },
+            &ZooConfig::default(),
+            catalog.len(),
+            spec.seed,
+            &sink,
+        )
+        .expect("grid specs are validated at construction");
+        let mut bridge = CorePolicyBridge { policy, catalog };
+        run_full_stack(&mut bridge, &mut cloud, &trace, &config)
     };
 
     RunSummary {

@@ -47,16 +47,17 @@ pub struct TraceRun {
     pub report: RunnerReport,
 }
 
-/// Adapter driving the MPO policy from runner observations — the same
-/// glue as the root crate's `PolicyBridge`, duplicated here because
-/// `spotweb-bench` sits below the facade crate in the dependency
-/// graph.
-pub(crate) struct MpoBridge {
-    pub(crate) policy: SpotWebPolicy,
+/// Adapter driving any [`spotweb_core::Policy`] from runner
+/// observations — the same glue as the root crate's `PolicyBridge`,
+/// duplicated here because `spotweb-bench` sits below the facade crate
+/// in the dependency graph. Boxed so the factory-built zoo policies
+/// and the MPO policy all ride the same bridge.
+pub(crate) struct CorePolicyBridge {
+    pub(crate) policy: Box<dyn Policy + Send>,
     pub(crate) catalog: Catalog,
 }
 
-impl FleetPolicy for MpoBridge {
+impl FleetPolicy for CorePolicyBridge {
     fn decide_fleet(
         &mut self,
         interval: usize,
@@ -203,7 +204,10 @@ pub fn run_trace(scenario: &str, seed: u64) -> Result<TraceRun, String> {
         catalog.len(),
     )
     .with_telemetry(sink.clone());
-    let mut bridge = MpoBridge { policy, catalog };
+    let mut bridge = CorePolicyBridge {
+        policy: Box::new(policy),
+        catalog,
+    };
     let report = run_full_stack(&mut bridge, &mut cloud, &trace, &config);
     Ok(TraceRun {
         scenario: name,

@@ -87,6 +87,74 @@ impl SpotWebConfig {
     }
 }
 
+/// Tunables of the policy-zoo competitors (the related-work strategies
+/// the tournament ranks against SpotWeb). Grouped separately from
+/// [`SpotWebConfig`] because none of them feed the MPO; they
+/// parameterize the zoo policies built by
+/// [`crate::policy::factory::build_policy`].
+#[derive(Debug, Clone)]
+pub struct ZooConfig {
+    /// EWMA gain for the index-tracking policy's smoothed target
+    /// weights (see `spotweb_predict::index::IndexWeightTracker`).
+    pub index_ewma_beta: f64,
+    /// Capacity headroom multiplier the index tracker provisions above
+    /// the target rate (it does not over-provision per the CI like the
+    /// MPO, so it carries a flat margin instead).
+    pub index_headroom: f64,
+    /// Absolute-correlation threshold above which two markets share a
+    /// failure-domain group (het-spot-groups policy).
+    pub group_corr_threshold: f64,
+    /// Number of whole correlation groups the het-spot-groups policy
+    /// over-provisions to survive losing simultaneously.
+    pub group_fault_tolerance: usize,
+    /// Number of distinct markets the randomized-market policy samples
+    /// each interval.
+    pub random_subset: usize,
+    /// Cheapness exponent of the randomized selection distribution:
+    /// selection weight ∝ (cheapest_cost / cost)^β · (1 − failure).
+    /// Integer so the weight is computed by exact multiplications
+    /// (`powi`) — byte-stable on every platform, no `exp`.
+    pub random_beta: i32,
+    /// Capacity headroom multiplier for the randomized policy.
+    pub random_headroom: f64,
+}
+
+impl Default for ZooConfig {
+    fn default() -> Self {
+        ZooConfig {
+            index_ewma_beta: 0.2,
+            index_headroom: 1.1,
+            group_corr_threshold: 0.5,
+            group_fault_tolerance: 1,
+            random_subset: 2,
+            random_beta: 4,
+            random_headroom: 1.15,
+        }
+    }
+}
+
+impl ZooConfig {
+    /// Validate invariants; call after hand-building a config.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.index_ewma_beta > 0.0 && self.index_ewma_beta <= 1.0) {
+            return Err("index_ewma_beta in (0,1]".into());
+        }
+        if self.index_headroom < 1.0 || self.random_headroom < 1.0 {
+            return Err("headroom multipliers must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.group_corr_threshold) {
+            return Err("group_corr_threshold in [0,1]".into());
+        }
+        if self.random_subset == 0 {
+            return Err("random_subset must be >= 1".into());
+        }
+        if self.random_beta < 0 {
+            return Err("random_beta must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +192,38 @@ mod tests {
         let c = SpotWebConfig::default().with_horizon(10);
         assert_eq!(c.horizon, 10);
         assert_eq!(c.alpha, SpotWebConfig::default().alpha);
+    }
+
+    #[test]
+    fn zoo_default_validates() {
+        assert!(ZooConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zoo_validation_catches_bad_values() {
+        for bad in [
+            ZooConfig {
+                index_ewma_beta: 0.0,
+                ..ZooConfig::default()
+            },
+            ZooConfig {
+                index_headroom: 0.9,
+                ..ZooConfig::default()
+            },
+            ZooConfig {
+                group_corr_threshold: 1.5,
+                ..ZooConfig::default()
+            },
+            ZooConfig {
+                random_subset: 0,
+                ..ZooConfig::default()
+            },
+            ZooConfig {
+                random_beta: -1,
+                ..ZooConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
     }
 }

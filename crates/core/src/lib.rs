@@ -45,10 +45,15 @@ pub mod risk;
 pub mod spo;
 
 pub use allocation::{to_server_counts, total_capacity_rps};
-pub use config::SpotWebConfig;
+pub use config::{SpotWebConfig, ZooConfig};
 pub use evaluate::{simulate_costs, CostReport};
 pub use forecast::ForecastBundle;
 pub use mpo::{MpoOptimizer, PortfolioDecision};
+pub use policy::exosphere::ExoSphereMarkowitzPolicy;
+pub use policy::factory::{build_policy, normalize_policy_name, ZOO_POLICIES};
+pub use policy::het_spot_groups::HetSpotGroupsPolicy;
+pub use policy::index_tracking::IndexTrackingPolicy;
+pub use policy::randomized_market::RandomizedMarketPolicy;
 pub use policy::{
     ConstantPortfolioPolicy, ExoSpherePolicy, OnDemandPolicy, Policy, PolicyObservation,
     QuThresholdPolicy, SpotWebPolicy,

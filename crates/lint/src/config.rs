@@ -47,6 +47,10 @@ impl LintConfig {
                 // Runner throughput harness: wall_secs per scenario,
                 // rendered only into the quarantined BENCH_runner.json.
                 "bench::perf".to_string(),
+                // Tournament: serial/parallel pass wall-clock, rendered
+                // only into the quarantined BENCH_tournament.json (the
+                // leaderboard itself is a pure function of summaries).
+                "bench::tournament".to_string(),
                 // Fig. 7(b) optimizer scalability is a timing figure.
                 "bench::fig7".to_string(),
             ],
@@ -59,6 +63,8 @@ impl LintConfig {
                 "sim::faults".to_string(),
                 "sim::metrics".to_string(),
                 "bench::sweep".to_string(),
+                // Leaderboard JSON + fixed-precision human table.
+                "bench::tournament".to_string(),
                 // Session-table iteration order feeds drain records in
                 // the deterministic trace.
                 "lb::session".to_string(),

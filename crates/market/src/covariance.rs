@@ -95,6 +95,64 @@ pub fn estimate_correlation(series: &[Vec<f64>], shrinkage: f64) -> Matrix {
     m
 }
 
+/// Partition markets into failure-correlation groups.
+///
+/// Two markets land in the same group when the absolute value of their
+/// pairwise correlation (entry of `corr`, e.g. from
+/// [`estimate_correlation`]) is at least `threshold` — extended
+/// transitively (single linkage), because a chain of strongly
+/// correlated markets fails together in the scenarios that matter
+/// (correlated price spikes, mass revocations). Fault-tolerance-aware
+/// heterogeneous grouping (Qu et al., arXiv:1509.05197) provisions at
+/// most one market per group so that one correlated failure domain
+/// takes out at most one slice of the fleet.
+///
+/// Returns one group id per market. Ids are dense, start at 0, and are
+/// assigned in market order (market 0 is always in group 0), so the
+/// output is a pure function of the matrix — no hashing, no RNG.
+///
+/// # Panics
+/// Panics if `corr` is not square or `threshold` is not in `[0, 1]`.
+pub fn correlation_groups(corr: &Matrix, threshold: f64) -> Vec<usize> {
+    let n = corr.rows();
+    assert_eq!(n, corr.cols(), "correlation matrix must be square");
+    assert!((0.0..=1.0).contains(&threshold), "threshold in [0,1]");
+    // Union-find over the ≥-threshold pairs.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if corr[(i, j)].abs() >= threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    // Attach the larger root under the smaller so the
+                    // representative is always the lowest market id.
+                    parent[ri.max(rj)] = ri.min(rj);
+                }
+            }
+        }
+    }
+    // Renumber roots densely in first-appearance (market) order.
+    let mut ids = vec![usize::MAX; n];
+    let mut next = 0;
+    (0..n)
+        .map(|i| {
+            let root = find(&mut parent, i);
+            if ids[root] == usize::MAX {
+                ids[root] = next;
+                next += 1;
+            }
+            ids[root]
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +204,33 @@ mod tests {
     #[should_panic(expected = "share one length")]
     fn ragged_series_panic() {
         estimate_covariance(&[vec![1.0, 2.0], vec![1.0]], 0.1);
+    }
+
+    #[test]
+    fn groups_split_uncorrelated_and_join_correlated() {
+        let mut m = Matrix::identity(4);
+        // Markets 0↔2 strongly correlated; 1 and 3 independent.
+        m[(0, 2)] = 0.9;
+        m[(2, 0)] = 0.9;
+        let g = correlation_groups(&m, 0.5);
+        assert_eq!(g, vec![0, 1, 0, 2], "dense ids in market order");
+    }
+
+    #[test]
+    fn groups_are_transitive_single_linkage() {
+        let mut m = Matrix::identity(3);
+        // 0↔1 and 1↔2 correlated, 0↔2 not: still one failure domain.
+        m[(0, 1)] = 0.8;
+        m[(1, 0)] = 0.8;
+        m[(1, 2)] = 0.8;
+        m[(2, 1)] = 0.8;
+        let g = correlation_groups(&m, 0.5);
+        assert_eq!(g, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn identity_matrix_puts_every_market_alone() {
+        let g = correlation_groups(&Matrix::identity(5), 0.3);
+        assert_eq!(g, vec![0, 1, 2, 3, 4]);
     }
 }

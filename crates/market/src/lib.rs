@@ -20,7 +20,10 @@
 //!   revocation events with an advance warning period.
 //! * [`covariance`] — estimation of the paper's matrix `M` from
 //!   revocation-probability histories, with shrinkage so it is always
-//!   usable as a quadratic risk term.
+//!   usable as a quadratic risk term, plus correlation-threshold
+//!   grouping of markets into failure domains.
+//! * [`index`] — the capacity-weighted "spot index" that Cloud Index
+//!   Tracking style policies rebalance toward.
 //! * [`history`] — rolling per-market records the predictors read.
 //! * [`cloud`] — a stepped façade combining all of the above, which the
 //!   discrete-event simulator and the benchmark harness drive.
@@ -37,6 +40,7 @@ pub mod catalog;
 pub mod cloud;
 pub mod covariance;
 pub mod history;
+pub mod index;
 pub mod io;
 pub mod price;
 pub mod providers;
@@ -44,8 +48,9 @@ pub mod revocation;
 
 pub use catalog::{Catalog, InstanceType, Market, MarketId, MarketKind};
 pub use cloud::CloudSim;
-pub use covariance::{estimate_correlation, estimate_covariance};
+pub use covariance::{correlation_groups, estimate_correlation, estimate_covariance};
 pub use history::MarketHistory;
+pub use index::{index_price, spot_index_weights};
 pub use price::SpotPriceProcess;
 pub use providers::Provider;
 pub use revocation::RevocationModel;

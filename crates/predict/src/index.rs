@@ -1,0 +1,150 @@
+//! Smoothed index-weight estimation for tracking policies.
+//!
+//! Cloud Index Tracking (arXiv:1809.03110) rebalances toward the spot
+//! index, but rebalancing on *instantaneous* index weights would churn
+//! servers on every transient capacity or price wiggle — the opposite
+//! of the "predictable cost" the strategy promises. The tracker here
+//! smooths the target weights with an exponentially weighted moving
+//! average, the same role the AR/spline stack plays for workload: the
+//! policy trades against a slow estimate, not against noise.
+
+/// Exponentially smoothed estimate of a weight vector.
+///
+/// Observe the instantaneous index weights once per decision interval;
+/// [`IndexWeightTracker::weights`] returns the smoothed, re-normalized
+/// target. Deterministic: the estimate is a pure function of the
+/// observation sequence.
+///
+/// # Examples
+///
+/// ```
+/// use spotweb_predict::index::IndexWeightTracker;
+///
+/// let mut t = IndexWeightTracker::new(0.5);
+/// t.observe(&[1.0, 0.0]);
+/// t.observe(&[0.0, 1.0]);
+/// let w = t.weights();
+/// // Halfway between the two observations, re-normalized.
+/// assert!((w[0] - 0.5).abs() < 1e-12 && (w[1] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndexWeightTracker {
+    /// EWMA gain `β` in `(0, 1]`: estimate ← (1−β)·estimate + β·obs.
+    beta: f64,
+    estimate: Vec<f64>,
+    observations: usize,
+}
+
+impl IndexWeightTracker {
+    /// Build a tracker with gain `beta` (1.0 = no smoothing, follow
+    /// the instantaneous weights exactly).
+    ///
+    /// # Panics
+    /// Panics unless `beta` is in `(0, 1]`.
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "beta in (0,1]");
+        IndexWeightTracker {
+            beta,
+            estimate: Vec::new(),
+            observations: 0,
+        }
+    }
+
+    /// Fold one instantaneous weight vector into the estimate. The
+    /// first observation initializes the estimate exactly (no warm-up
+    /// bias toward zero).
+    ///
+    /// # Panics
+    /// Panics if the dimension changes between observations.
+    pub fn observe(&mut self, weights: &[f64]) {
+        if self.observations == 0 {
+            self.estimate = weights.to_vec();
+        } else {
+            assert_eq!(
+                self.estimate.len(),
+                weights.len(),
+                "index dimension must not change mid-stream"
+            );
+            for (e, &w) in self.estimate.iter_mut().zip(weights) {
+                *e = (1.0 - self.beta) * *e + self.beta * w;
+            }
+        }
+        self.observations += 1;
+    }
+
+    /// The smoothed target weights, re-normalized to sum to 1 (zeros
+    /// if nothing was observed yet or the estimate summed to zero).
+    pub fn weights(&self) -> Vec<f64> {
+        let total: f64 = self.estimate.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.estimate.len()];
+        }
+        self.estimate.iter().map(|w| w / total).collect()
+    }
+
+    /// Number of observations folded in so far.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initializes_exactly() {
+        let mut t = IndexWeightTracker::new(0.2);
+        t.observe(&[0.7, 0.3]);
+        assert_eq!(t.weights(), vec![0.7, 0.3]);
+    }
+
+    #[test]
+    fn smoothing_damps_a_transient_spike() {
+        let mut slow = IndexWeightTracker::new(0.1);
+        let mut fast = IndexWeightTracker::new(1.0);
+        for _ in 0..10 {
+            slow.observe(&[0.5, 0.5]);
+            fast.observe(&[0.5, 0.5]);
+        }
+        slow.observe(&[1.0, 0.0]);
+        fast.observe(&[1.0, 0.0]);
+        let (s, f) = (slow.weights(), fast.weights());
+        assert!(f[0] > s[0], "beta=1 follows the spike, beta=0.1 damps it");
+        assert!(s[0] > 0.5 && s[0] < 0.6, "one spike moves a 0.1 gain ~5%");
+    }
+
+    #[test]
+    fn weights_renormalize() {
+        let mut t = IndexWeightTracker::new(0.5);
+        t.observe(&[2.0, 2.0]); // un-normalized input is tolerated
+        let w = t.weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tracker_returns_zeros() {
+        let t = IndexWeightTracker::new(0.3);
+        assert!(t.weights().is_empty());
+        assert_eq!(t.observations(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let run = || {
+            let mut t = IndexWeightTracker::new(0.25);
+            for i in 0..20 {
+                let x = 0.5 + 0.3 * ((i as f64) * 0.7).sin();
+                t.observe(&[x, 1.0 - x]);
+            }
+            t.weights()
+        };
+        assert_eq!(run(), run(), "pure function of the observation stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "beta in (0,1]")]
+    fn zero_beta_rejected() {
+        IndexWeightTracker::new(0.0);
+    }
+}

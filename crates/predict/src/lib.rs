@@ -30,6 +30,8 @@
 //!   out-of-the-box").
 //! * [`noisy`] — controlled error injection around any predictor, the
 //!   instrument behind the Fig. 7(a) accuracy-sensitivity sweep.
+//! * [`index`] — EWMA smoothing of spot-index weights, the input the
+//!   index-tracking policy of the tournament rebalances toward.
 //! * [`metrics`] — relative-error distributions and
 //!   over/under-provisioning summaries (Fig. 4(c)/(d)).
 
@@ -41,6 +43,7 @@ pub mod baseline;
 pub mod confidence;
 pub mod failure;
 pub mod holt_winters;
+pub mod index;
 pub mod metrics;
 pub mod noisy;
 pub mod price;

@@ -42,6 +42,11 @@ pub const ADMM_ITERATIONS_HIST: &str = "spotweb_admm_iterations";
 /// seconds per MPO solve including problem build.
 pub const MPO_SOLVE_SECS: &str = "mpo_solve_secs";
 
+/// Counter: decisions taken by a policy-zoo competitor (one per
+/// `decide` call of the factory-built non-MPO policies; the MPO policy
+/// reports [`MPO_SOLVES_TOTAL`] instead).
+pub const POLICY_DECISIONS_TOTAL: &str = "spotweb_policy_decisions_total";
+
 /// Counter: requests served to completion by the simulated service.
 pub const REQUESTS_SERVED_TOTAL: &str = "spotweb_requests_served_total";
 

@@ -6,6 +6,7 @@
 
 use spotweb::sim::sweep::digest;
 use spotweb_bench::sweep::{build_grid, run_grid, warm_start_probe, SWEEP_POLICIES};
+use spotweb_bench::tournament::build_tournament_grid;
 use spotweb_bench::DEFAULT_SEED;
 
 /// The golden determinism property: summaries at `--jobs 1` and
@@ -42,6 +43,52 @@ fn sweep_rejects_unknown_scenarios_with_a_helpful_error() {
     // Underscore/hyphen leniency: both spellings resolve.
     assert!(build_grid(Some("zero_warning"), DEFAULT_SEED).is_ok());
     assert!(build_grid(Some("zero-warning"), DEFAULT_SEED).is_ok());
+}
+
+/// The tournament grid (all six zoo policies on one scenario, every
+/// tournament seed) is byte-identical at `--jobs 1` and `--jobs 4` —
+/// the sweep determinism contract extended to the factory-built
+/// policies (ISSUE 6).
+#[test]
+fn tournament_grid_is_byte_identical_at_jobs_1_and_4() {
+    let specs = build_tournament_grid(None, Some("zero_warning")).expect("known scenario");
+
+    let serial = run_grid(1, specs.clone());
+    let parallel = run_grid(4, specs);
+
+    let serial_summaries: Vec<_> = serial.iter().map(|r| r.summary.clone()).collect();
+    let parallel_summaries: Vec<_> = parallel.iter().map(|r| r.summary.clone()).collect();
+    for (s, p) in serial_summaries.iter().zip(&parallel_summaries) {
+        assert_eq!(
+            s.to_json(),
+            p.to_json(),
+            "tournament cell JSON must not depend on the jobs count"
+        );
+    }
+    assert_eq!(digest(&serial_summaries), digest(&parallel_summaries));
+}
+
+/// Seed-swept cross-policy regression (ISSUE 6): routing the MPO and
+/// reactive baselines through the policy factory must not move a
+/// single byte of the sweep grid. The constants are the full-grid
+/// digests recorded before the factory landed.
+#[test]
+fn mpo_and_reactive_sweep_digests_survive_the_factory_refactor() {
+    const GOLDEN_DIGESTS: &[(u64, &str)] = &[
+        (1234, "b43931080ed0b5dd"),
+        (7, "f88d031a241c95df"),
+        (99, "e95bcbab0b49256e"),
+    ];
+    for &(seed, expected) in GOLDEN_DIGESTS {
+        let specs = build_grid(None, seed).expect("full grid builds");
+        let results = run_grid(4, specs);
+        let summaries: Vec<_> = results.iter().map(|r| r.summary.clone()).collect();
+        assert_eq!(
+            digest(&summaries),
+            expected,
+            "seed {seed}: sweep digest drifted after the factory refactor"
+        );
+    }
 }
 
 /// Warm-started receding-horizon solves converge in fewer mean ADMM
