@@ -3,7 +3,7 @@
 //! ```text
 //! figures <command> [--seed N] [--intervals N] [--workload wikipedia|vod]
 //!         [--scenario NAME] [--policy NAME] [--summary] [--out DIR]
-//!         [--jobs J] [--full]
+//!         [--jobs J] [--full] [--alloc] [--hours N] [--spans-golden]
 //!
 //! commands:
 //!   fig3        workload traces (Fig. 3a/3b)
@@ -43,6 +43,20 @@
 //!               BENCH_runner.json (simulated-requests-per-wall-second,
 //!               wall-clock quarantined) to --out DIR; --full adds the
 //!               day-scale 20 krps stress entry
+//!   profile     self-profile the workspace's own hot paths: sweep
+//!               grid at --jobs 1 and --jobs J plus a full-stack
+//!               runner phase (--scenario, default revocation_storm)
+//!               under the prof span profiler; prints the
+//!               deterministic span structure (byte-identical across
+//!               runs — CI diffs a double run) and writes
+//!               BENCH_profile.json + flamegraph.folded (wall-clock,
+//!               lock waits, allocations — quarantined) to --out DIR;
+//!               --full adds a 20 krps day-scale phase (--hours N
+//!               scales it, default 24), --alloc adds heap accounting
+//!               (needs a build with --features prof-alloc);
+//!               --spans-golden prints only the short-runner span
+//!               structure (the tests/golden/profile_spans.json
+//!               document) and runs nothing else
 //!   lint        run the spotweb-lint determinism analyzer over the
 //!               workspace; with --out DIR also writes the byte-stable
 //!               lint_report.json. Non-zero exit on unsuppressed
@@ -59,6 +73,14 @@
 //! EXPERIMENTS.md.
 
 use std::process::ExitCode;
+
+// With the opt-in `prof-alloc` feature the whole binary runs on the
+// counting allocator, so `figures profile --alloc` can attribute heap
+// bytes per span (and assert live-bytes baselines).
+#[cfg(feature = "prof-alloc")]
+#[global_allocator]
+static COUNTING_ALLOC: spotweb_telemetry::prof::alloc::CountingAlloc =
+    spotweb_telemetry::prof::alloc::CountingAlloc;
 
 use spotweb_bench::fig6::Fig6bWorkload;
 use spotweb_bench::{
@@ -79,8 +101,18 @@ struct Args {
     /// Worker threads for `sweep`; accepted (and currently a no-op) on
     /// the serial subcommands so scripts can pass it uniformly.
     jobs: usize,
-    /// `perf` only: also run the day-scale 20 krps stress entry.
+    /// `perf`/`profile`: also run the day-scale 20 krps stress entry.
     full: bool,
+    /// `profile` only: request allocation accounting (requires a
+    /// binary built with `--features prof-alloc`).
+    alloc: bool,
+    /// `profile` only: simulated hours of the `--full` day-scale
+    /// phase (24 = the full day; smaller values are scaled probes).
+    hours: usize,
+    /// `profile` only: print the `tests/golden/profile_spans.json`
+    /// document (short runner phase span structure) instead of
+    /// running the full harness.
+    spans_golden: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -97,6 +129,9 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         jobs: 1,
         full: false,
+        alloc: false,
+        hours: 24,
+        spans_golden: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -129,6 +164,18 @@ fn parse_args() -> Result<Args, String> {
             }
             "--summary" => out.summary = true,
             "--full" => out.full = true,
+            "--alloc" => out.alloc = true,
+            "--spans-golden" => out.spans_golden = true,
+            "--hours" => {
+                out.hours = args
+                    .next()
+                    .ok_or("--hours needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad hours: {e}"))?;
+                if out.hours == 0 {
+                    return Err("--hours must be at least 1".into());
+                }
+            }
             "--out" => {
                 out.out = Some(args.next().ok_or("--out needs a directory")?);
             }
@@ -501,6 +548,40 @@ fn run(args: &Args) -> Result<(), String> {
                 path.display()
             );
         }
+        "profile" => {
+            use spotweb_bench::profile;
+            if args.spans_golden {
+                let scenario = args.scenario.as_deref().unwrap_or("revocation_storm");
+                print!("{}", profile::runner_spans_golden_json(scenario, seed)?);
+                return Ok(());
+            }
+            let output = profile::run_command(
+                args.jobs,
+                args.scenario.as_deref(),
+                seed,
+                args.full,
+                args.hours,
+                args.alloc,
+            )?;
+            // Deterministic span structure on stdout; wall-clock,
+            // lock-wait seconds, and allocation figures on stderr +
+            // BENCH_profile.json / flamegraph.folded only.
+            print!("{}", output.spans_json);
+            let dir = std::path::Path::new(args.out.as_deref().unwrap_or("."));
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            let bench_path = dir.join("BENCH_profile.json");
+            std::fs::write(&bench_path, &output.bench_json)
+                .map_err(|e| format!("write {}: {e}", bench_path.display()))?;
+            let folded_path = dir.join("flamegraph.folded");
+            std::fs::write(&folded_path, &output.folded)
+                .map_err(|e| format!("write {}: {e}", folded_path.display()))?;
+            eprint!("{}", output.human_summary);
+            eprintln!(
+                "profile: wrote {} and {}",
+                bench_path.display(),
+                folded_path.display()
+            );
+        }
         "lint" => {
             let cwd = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
             let root = spotweb_lint::find_workspace_root(&cwd)
@@ -549,6 +630,9 @@ fn run(args: &Args) -> Result<(), String> {
                     out: None,
                     jobs: args.jobs,
                     full: false,
+                    alloc: false,
+                    hours: 24,
+                    spans_golden: false,
                 };
                 eprintln!("=== {cmd} ===");
                 run(&sub)?;
@@ -563,7 +647,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|tournament|perf|lint|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--policy NAME] [--summary] [--out DIR] [--jobs J] [--full]");
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|tournament|perf|profile|lint|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--policy NAME] [--summary] [--out DIR] [--jobs J] [--full] [--alloc] [--hours N] [--spans-golden]");
             return ExitCode::from(2);
         }
     };

@@ -14,6 +14,7 @@ use std::time::Instant;
 use spotweb_linalg::Matrix;
 use spotweb_market::Catalog;
 use spotweb_solver::{AdmmSolver, QpStatus, Settings};
+use spotweb_telemetry::{names, prof};
 
 use crate::config::SpotWebConfig;
 use crate::forecast::ForecastBundle;
@@ -164,6 +165,7 @@ impl MpoOptimizer {
     ) -> Result<PortfolioDecision> {
         // spotweb-lint: allow(wall-clock-quarantine) -- solve wall-time feeds the quarantined MPO_SOLVE_SECS store; never enters decision logic
         let started = Instant::now();
+        prof::scope!(names::SPAN_MPO_SOLVE);
         let n = catalog.len();
         let h = self.config.horizon;
 

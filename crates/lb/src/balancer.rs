@@ -18,7 +18,7 @@ use crate::admission::{AdmissionController, AdmissionDecision};
 use crate::backend::{Backend, BackendId, BackendState};
 use crate::session::SessionTable;
 use crate::wrr::SmoothWrr;
-use spotweb_telemetry::{names, CounterHandle, DrainRecord, TelemetrySink, TraceEvent};
+use spotweb_telemetry::{names, prof, CounterHandle, DrainRecord, TelemetrySink, TraceEvent};
 
 /// Load-balancer configuration.
 #[derive(Debug, Clone)]
@@ -271,6 +271,9 @@ impl LoadBalancer {
     /// saturated. Admission control bounds the total queueing delay
     /// across the tiers considered.
     pub fn route(&mut self, session: Option<u64>, now: f64) -> RouteOutcome {
+        // Hottest profiling span in the stack: one enter per simulated
+        // request (a single relaxed atomic load when no session runs).
+        prof::scope!(names::SPAN_LB_ROUTE);
         if self.config.admission_control {
             // Capacity and load over every backend a request could use.
             let mut cap = 0.0;

@@ -25,6 +25,12 @@ pub struct LintConfig {
     /// these modules must resolve a `CounterHandle`/`HistogramHandle`
     /// once and increment through it (ISSUE 5).
     pub hot_paths: Vec<String>,
+    /// Crates whose profiling spans (`prof::scope!`, `prof_scope!`,
+    /// `ScopeGuard::enter`) must be named through `telemetry::names`
+    /// `SPAN_*` constants rather than inline string literals — the
+    /// span tree is golden-locked, so producers and the golden must
+    /// not be able to fork a span name (ISSUE 7).
+    pub span_crates: Vec<String>,
 }
 
 impl LintConfig {
@@ -53,6 +59,12 @@ impl LintConfig {
                 "bench::tournament".to_string(),
                 // Fig. 7(b) optimizer scalability is a timing figure.
                 "bench::fig7".to_string(),
+                // Self-profiler: wall-clock spans, mutex waits, and
+                // (opt-in) heap bytes, rendered only into the
+                // quarantined BENCH_profile.json / flamegraph.folded.
+                // The span *structure* golden never carries timings.
+                "telemetry::prof".to_string(),
+                "bench::profile".to_string(),
             ],
             renderers: vec![
                 // The telemetry crate renders traces, records, and
@@ -68,6 +80,9 @@ impl LintConfig {
                 // Session-table iteration order feeds drain records in
                 // the deterministic trace.
                 "lb::session".to_string(),
+                // Span-structure golden JSON + BENCH_profile.json /
+                // flamegraph.folded renderers.
+                "bench::profile".to_string(),
             ],
             telemetry_crate: "telemetry".to_string(),
             hot_paths: vec![
@@ -78,6 +93,14 @@ impl LintConfig {
                 "sim::engine".to_string(),
                 // Router: admission/no-backend drop counters per route.
                 "lb::balancer".to_string(),
+            ],
+            span_crates: vec![
+                // The instrumented crates: their spans appear in the
+                // golden-locked span tree, so names must come from
+                // telemetry::names SPAN_* constants.
+                "sim".to_string(),
+                "lb".to_string(),
+                "core".to_string(),
             ],
         }
     }

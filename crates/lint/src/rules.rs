@@ -367,6 +367,72 @@ fn rule_telemetry_names(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Findi
             });
         }
     }
+    rule_span_names(file, cfg, out);
+}
+
+/// Span-name extension of `telemetry-name-constants`: in registered
+/// crates, profiling spans (`prof::scope!(…)`, `prof_scope!(…)`,
+/// `ScopeGuard::enter(…)`) must be named through `telemetry::names`
+/// `SPAN_*` constants. The span tree is golden-locked, so an inline
+/// literal lets a producer and the golden fork silently — the same
+/// failure mode as an inline metric name.
+fn rule_span_names(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !cfg.span_crates.contains(&file.crate_name) {
+        return;
+    }
+    for i in file.code_indices() {
+        let t = file.tokens[i];
+        if t.kind != TokenKind::Ident || file.in_test[i] {
+            continue;
+        }
+        let (call, open) = match file.text(i) {
+            // `prof::scope!("…")` or `crate-level prof_scope!("…")`.
+            name @ ("scope" | "prof_scope") => {
+                let open = file
+                    .next_code(i)
+                    .filter(|&j| file.text(j) == "!")
+                    .and_then(|j| file.next_code(j))
+                    .filter(|&j| file.text(j) == "(");
+                (format!("{name}!"), open)
+            }
+            // `ScopeGuard::enter("…")` — `::` lexes as two `:` tokens.
+            "enter" => {
+                let qualified = file
+                    .prev_code(i)
+                    .filter(|&p| file.text(p) == ":")
+                    .and_then(|p| file.prev_code(p))
+                    .filter(|&p| file.text(p) == ":")
+                    .and_then(|p| file.prev_code(p))
+                    .is_some_and(|p| file.text(p) == "ScopeGuard");
+                let open = if qualified {
+                    file.next_code(i).filter(|&j| file.text(j) == "(")
+                } else {
+                    None
+                };
+                ("ScopeGuard::enter".to_string(), open)
+            }
+            _ => continue,
+        };
+        let Some(open) = open else {
+            continue;
+        };
+        if let Some(arg) = file.next_code(open) {
+            if file.tokens[arg].kind.is_string() {
+                out.push(Finding {
+                    rule: "telemetry-name-constants".to_string(),
+                    file: file.path.clone(),
+                    line: file.tokens[arg].line,
+                    message: format!(
+                        "inline span name {} passed to `{}(…)`; use a SPAN_* constant \
+                         from telemetry::names so the golden-locked span tree cannot \
+                         fork from its producers",
+                        file.text(arg),
+                        call
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// `true` when the call whose `(` is at token `open` has a comma at
@@ -615,6 +681,7 @@ mod tests {
             renderers: vec!["app::render".to_string()],
             telemetry_crate: "telemetry".to_string(),
             hot_paths: vec!["app::hot".to_string()],
+            span_crates: vec!["app".to_string()],
         }
     }
 
@@ -774,6 +841,37 @@ mod tests {
             "fn f(&mut self) { self.count(\"x\", 1); }\n",
         );
         assert!(r.is_clean());
+    }
+
+    #[test]
+    fn inline_span_names_flagged_in_span_crates() {
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "fn f() { prof::scope!(\"app.work\"); \
+             let _g = prof::ScopeGuard::enter(\"app.other\"); }\n",
+        );
+        assert_eq!(
+            rules_of(&r),
+            ["telemetry-name-constants", "telemetry-name-constants"]
+        );
+        assert!(r.findings[0].message.contains("inline span name"));
+    }
+
+    #[test]
+    fn constant_span_names_and_other_crates_are_fine() {
+        // names:: constants pass in a span crate…
+        let r = lint_one(
+            "crates/app/src/lib.rs",
+            "fn f() { prof::scope!(names::SPAN_LB_ROUTE); }\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
+        // …and a crate outside the registry may use literals (e.g.
+        // bench phase labels).
+        let r = lint_one(
+            "crates/other/src/lib.rs",
+            "fn f() { prof::scope!(\"bench.phase\"); }\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
     }
 
     #[test]

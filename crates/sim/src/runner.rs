@@ -44,7 +44,7 @@ use rand_chacha::ChaCha8Rng;
 use spotweb_lb::{BackendState, LoadBalancer, LoadBalancerConfig, MonitorWindow, RouteOutcome};
 use spotweb_market::billing::{BillingModel, CostMeter};
 use spotweb_market::CloudSim;
-use spotweb_telemetry::{names, CounterHandle, HistogramHandle, TelemetrySink, TraceEvent};
+use spotweb_telemetry::{names, prof, CounterHandle, HistogramHandle, TelemetrySink, TraceEvent};
 use spotweb_workload::Trace;
 
 use crate::calendar::CalendarQueue;
@@ -174,6 +174,10 @@ pub fn run_full_stack(
     trace: &Trace,
     config: &RunnerConfig,
 ) -> RunnerReport {
+    // Wall-clock profiling span for the whole run (inert unless a
+    // prof session is active; distinct from the sim-clock trace spans
+    // emitted through `sink` below).
+    prof::scope!(names::SPAN_RUNNER_RUN);
     let n_markets = cloud.catalog().len();
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let sink = config.telemetry.clone();
@@ -273,6 +277,12 @@ pub fn run_full_stack(
         let t_end = t0 + config.interval_secs;
         sink.set_clock(t0);
         let span = sink.span_start("interval");
+        prof::scope!(names::SPAN_RUNNER_INTERVAL);
+        // Interval-head control work — fault application, policy
+        // decide (the mpo.solve span nests here), fleet reconcile,
+        // revocation sampling — profiles as one control batch; the
+        // guard is dropped just before the arrival loop starts.
+        let prof_control = prof::ScopeGuard::enter(names::SPAN_RUNNER_CONTROL_BATCH);
 
         // Apply this interval's compiled faults. Price shocks land
         // before the market steps so the tick already quotes them;
@@ -565,6 +575,7 @@ pub fn run_full_stack(
         // Arrivals follow the *true* trace rate (the generator is the
         // outside world; only the policy sees measurements); the rate
         // is constant within the interval, so it is sampled once.
+        drop(prof_control);
         let rate = trace.rate_at(t0).max(1e-6);
         let mut now = t0 + exp_sample(&mut rng, rate);
         while now < t_end {
@@ -582,34 +593,41 @@ pub fn run_full_stack(
 
             // The tight arrival run: no control is due before
             // `next_control`, so the per-arrival scans would all no-op.
-            while now < t_end && now < next_control {
-                drain_completions(
-                    now,
-                    &mut completions,
-                    &mut lb,
-                    &last_death,
-                    &mut recorder,
-                    &mut monitor,
-                    &mut checker,
-                    &served_counter,
-                    &killed_counter,
-                    &latency_hist,
-                );
-                let session = rng.gen_range(0..config.sessions);
-                checker.on_arrival();
-                match lb.route(Some(session), now) {
-                    RouteOutcome::Routed(b) => {
-                        checker.on_route(&lb, b, now);
-                        let done = services[b].admit(now);
-                        completions.push(done, b, now);
+            // One profiling span per batch (not per arrival): in-loop
+            // completion drains are accounted to the batch, and the
+            // per-request `lb.route` span nests inside it. The block
+            // closes the span before the control-timepoint work below.
+            {
+                prof::scope!(names::SPAN_RUNNER_ARRIVAL_LOOP);
+                while now < t_end && now < next_control {
+                    drain_completions(
+                        now,
+                        &mut completions,
+                        &mut lb,
+                        &last_death,
+                        &mut recorder,
+                        &mut monitor,
+                        &mut checker,
+                        &served_counter,
+                        &killed_counter,
+                        &latency_hist,
+                    );
+                    let session = rng.gen_range(0..config.sessions);
+                    checker.on_arrival();
+                    match lb.route(Some(session), now) {
+                        RouteOutcome::Routed(b) => {
+                            checker.on_route(&lb, b, now);
+                            let done = services[b].admit(now);
+                            completions.push(done, b, now);
+                        }
+                        RouteOutcome::Dropped => {
+                            checker.on_dropped_at_admission();
+                            recorder.record_drop(now);
+                            monitor.record_dropped(now);
+                        }
                     }
-                    RouteOutcome::Dropped => {
-                        checker.on_dropped_at_admission();
-                        recorder.record_drop(now);
-                        monitor.record_dropped(now);
-                    }
+                    now += exp_sample(&mut rng, rate);
                 }
-                now += exp_sample(&mut rng, rate);
             }
             if now >= t_end {
                 break;
@@ -618,6 +636,7 @@ pub fn run_full_stack(
             // Control timepoint crossed by the next arrival: fire
             // everything due, in the order the per-arrival scans
             // always used (deaths, then flaps, then restores).
+            prof::scope!(names::SPAN_RUNNER_CONTROL_BATCH);
             pending_deaths.retain(|&(deadline, id)| {
                 if deadline <= now {
                     lb.server_died(id, deadline);
@@ -668,6 +687,9 @@ pub fn run_full_stack(
         }
         lb.tick(t_end);
         checker.check_tick(&lb, t_end);
+        // End-of-interval (and end-of-run) completion drains profile
+        // as `runner.drain`; the guard closes before billing/rollup.
+        let prof_drain = prof::ScopeGuard::enter(names::SPAN_RUNNER_DRAIN);
         drain_completions(
             t_end,
             &mut completions,
@@ -696,6 +718,7 @@ pub fn run_full_stack(
                 &latency_hist,
             );
         }
+        drop(prof_drain);
 
         // Bill every backend that existed during any part of the
         // interval — including draining/decommissioned servers still

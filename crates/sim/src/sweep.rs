@@ -32,14 +32,25 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use spotweb_telemetry::json::{json_f64, json_string};
+use spotweb_telemetry::{names, prof};
 
 /// Map `f` over `tasks` on up to `jobs` worker threads, returning the
 /// results **in input order** regardless of which worker ran what.
 ///
-/// `jobs == 1` (or a single task) runs inline with no threads. Workers
-/// pull tasks from a shared atomic cursor — run `i`'s result always
-/// lands in slot `i`, so the output is independent of scheduling. If
-/// `f` panics on any task the panic propagates out of the scope.
+/// At most `min(jobs, tasks.len())` workers are spawned, and `jobs ==
+/// 1` (or a single task) runs inline with no threads at all — a
+/// single-task sweep never pays `thread::scope` setup. Workers pull
+/// tasks from a shared atomic cursor — run `i`'s result always lands
+/// in slot `i`, so the output is independent of scheduling. If `f`
+/// panics on any task the panic propagates out of the scope.
+///
+/// When a [`prof`] session is active, each worker records a
+/// `sweep.worker` span (labelled `worker-0..`) containing one
+/// `sweep.task` span per task it claimed, so per-worker task counts
+/// and wall-time skew land in `BENCH_profile.json`; the inline path
+/// records the same structure on the calling thread. The merged span
+/// *structure* (worker count = workers spawned, task count = tasks)
+/// stays deterministic even though the task→worker split is not.
 ///
 /// # Examples
 ///
@@ -62,10 +73,14 @@ where
     let n = tasks.len();
     let workers = jobs.max(1).min(n.max(1));
     if workers <= 1 {
+        prof::scope!(names::SPAN_SWEEP_WORKER);
         return tasks
             .into_iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            .map(|(i, t)| {
+                prof::scope!(names::SPAN_SWEEP_TASK);
+                f(i, t)
+            })
             .collect();
     }
 
@@ -77,19 +92,37 @@ where
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        let task_slots = &task_slots;
+        let result_slots = &result_slots;
+        let cursor = &cursor;
+        let f = &f;
+        for w in 0..workers {
+            scope.spawn(move || {
+                prof::set_thread_label(&format!("worker-{w}"));
+                {
+                    prof::scope!(names::SPAN_SWEEP_WORKER);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        prof::scope!(names::SPAN_SWEEP_TASK);
+                        let wait = prof::lock_timer();
+                        let mut slot = task_slots[i].lock().expect("sweep task slot");
+                        wait.done();
+                        let task = slot.take().expect("each task is taken exactly once");
+                        drop(slot);
+                        let result = f(i, task);
+                        let wait = prof::lock_timer();
+                        let mut out = result_slots[i].lock().expect("sweep result slot");
+                        wait.done();
+                        *out = Some(result);
+                    }
                 }
-                let task = task_slots[i]
-                    .lock()
-                    .expect("sweep task slot")
-                    .take()
-                    .expect("each task is taken exactly once");
-                let result = f(i, task);
-                *result_slots[i].lock().expect("sweep result slot") = Some(result);
+                // `thread::scope` only waits for this closure, not for
+                // TLS destructors — flush explicitly so the tree cannot
+                // race the session's `finish`.
+                prof::flush_thread();
             });
         }
     });
@@ -259,6 +292,64 @@ mod tests {
         let empty: Vec<u64> = parallel_map(4, Vec::<u64>::new(), |_, n| n);
         assert!(empty.is_empty());
         assert_eq!(parallel_map(4, vec![9u64], |i, n| n + i as u64), vec![9]);
+    }
+
+    #[test]
+    fn parallel_map_clamps_workers_to_task_count() {
+        fn worker_labels(profile: &prof::Profile) -> Vec<&str> {
+            profile
+                .threads
+                .iter()
+                .map(|t| t.label.as_str())
+                .filter(|l| l.starts_with("worker-"))
+                .collect()
+        }
+        // One task, eight requested jobs: the single-worker clamp
+        // takes the inline path — no thread is spawned at all.
+        let session = prof::begin();
+        let out = parallel_map(8, vec![21u64], |_, n| n * 2);
+        let profile = session.finish();
+        assert_eq!(out, vec![42]);
+        assert!(
+            worker_labels(&profile).is_empty(),
+            "one task runs inline on the caller"
+        );
+        // Three tasks, eight requested jobs: exactly three workers —
+        // observed through the profiler's per-thread trees.
+        let session = prof::begin();
+        let out = parallel_map(8, (0..3u64).collect(), |_, n| n);
+        let profile = session.finish();
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(
+            worker_labels(&profile),
+            ["worker-0", "worker-1", "worker-2"],
+            "min(jobs, tasks) workers"
+        );
+    }
+
+    #[test]
+    fn parallel_map_records_per_worker_task_counts() {
+        let session = prof::begin();
+        let out = parallel_map(2, (0..5u64).collect(), |_, n| n);
+        let profile = session.finish();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        // Every task shows up in exactly one worker's sweep.task span;
+        // the split between workers is scheduling-dependent, the sum
+        // is not.
+        let per_worker: Vec<u64> = profile
+            .threads
+            .iter()
+            .filter(|t| t.label.starts_with("worker-"))
+            .map(|t| {
+                t.nodes
+                    .iter()
+                    .filter(|n| n.name == names::SPAN_SWEEP_TASK)
+                    .map(|n| n.count)
+                    .sum()
+            })
+            .collect();
+        assert_eq!(per_worker.len(), 2, "two workers for five tasks");
+        assert_eq!(per_worker.iter().sum::<u64>(), 5);
     }
 
     #[test]

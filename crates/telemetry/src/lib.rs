@@ -28,13 +28,20 @@
 //! [`TelemetrySink::time`] into a separate store exported only as
 //! `BENCH_telemetry.json` — they never enter the deterministic trace.
 
-#![forbid(unsafe_code)]
+// The workspace forbids unsafe code. The one exception is the opt-in
+// `prof-alloc` counting global allocator (`prof::alloc`), whose
+// `GlobalAlloc` impl necessarily carries `unsafe`: with that feature on
+// we drop to `deny` and the impl carries a single scoped, documented
+// `allow`. Every other configuration stays at `forbid`.
+#![cfg_attr(not(feature = "prof-alloc"), forbid(unsafe_code))]
+#![cfg_attr(feature = "prof-alloc", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod names;
+pub mod prof;
 pub mod records;
 pub mod sink;
 pub mod trace;

@@ -117,3 +117,49 @@ pub const HIST_INTERNED: &[&str] = &[REQUEST_LATENCY_SECONDS];
 pub fn interned_hist_id(name: &str) -> Option<usize> {
     HIST_INTERNED.iter().position(|n| *n == name)
 }
+
+// ---------------------------------------------------------------------------
+// Profiler span names (crate::prof).
+//
+// Host-side wall-clock spans, not sim-clock trace spans: these name the
+// phases of the *process* that `figures profile` attributes wall time,
+// lock waits, and heap bytes to. `spotweb-lint` requires spans opened
+// in `sim`/`lb`/`core` to use these constants (telemetry-name-constants
+// rule), so the golden-locked span structure cannot drift via an
+// inline-literal typo.
+// ---------------------------------------------------------------------------
+
+/// Span: one full-stack scenario run (`sim::runner::run_full_stack`).
+pub const SPAN_RUNNER_RUN: &str = "runner.run";
+
+/// Span: one billing interval of a run (policy decide, reconcile,
+/// arrivals, drain all nest under it).
+pub const SPAN_RUNNER_INTERVAL: &str = "runner.interval";
+
+/// Span: control-timepoint work inside an interval — fault firings,
+/// revocation warnings, `lb.tick`, interval-head policy + reconcile.
+pub const SPAN_RUNNER_CONTROL_BATCH: &str = "runner.control_batch";
+
+/// Span: the tight arrival loop between two control timepoints (route,
+/// service start, in-loop completion drain).
+pub const SPAN_RUNNER_ARRIVAL_LOOP: &str = "runner.arrival_loop";
+
+/// Span: the end-of-interval / end-of-run completion drains (the
+/// in-loop drain is accounted under [`SPAN_RUNNER_ARRIVAL_LOOP`]).
+pub const SPAN_RUNNER_DRAIN: &str = "runner.drain";
+
+/// Span: one sweep worker thread's lifetime in
+/// `sim::sweep::parallel_map` (count per profile = workers spawned).
+pub const SPAN_SWEEP_WORKER: &str = "sweep.worker";
+
+/// Span: one claimed task inside a sweep worker (count per worker =
+/// that worker's task share; merged count = total tasks).
+pub const SPAN_SWEEP_TASK: &str = "sweep.task";
+
+/// Span: one multi-period portfolio optimization solve
+/// (`core::mpo::MpoOptimizer::optimize`).
+pub const SPAN_MPO_SOLVE: &str = "mpo.solve";
+
+/// Span: one load-balancer route decision (`lb::balancer::route`);
+/// entered once per simulated request — the hottest span.
+pub const SPAN_LB_ROUTE: &str = "lb.route";

@@ -1,0 +1,192 @@
+//! Opt-in counting global allocator (feature `prof-alloc`).
+//!
+//! When the feature is enabled, a binary can register
+//! [`CountingAlloc`] as its `#[global_allocator]`; every allocation
+//! then ticks four process-global counters — live bytes, peak live
+//! bytes, cumulative allocated bytes, and allocation calls — which the
+//! span profiler samples at scope entry/exit to attribute heap traffic
+//! per span, and which the `prof-alloc` smoke test uses to assert that
+//! live bytes return to baseline after a run (the seed of the ROADMAP
+//! item-3 "memory is O(active sessions)" gate).
+//!
+//! Without the feature every accessor returns zero, nothing is
+//! compiled with `unsafe`, and the crate keeps its
+//! `forbid(unsafe_code)` posture (see `lib.rs`). With the feature the
+//! crate drops to `deny(unsafe_code)` and this module carries the one
+//! scoped `allow`: the `GlobalAlloc` impl, which only forwards to
+//! [`std::alloc::System`] and ticks atomics.
+//!
+//! All byte figures are wall-clock-quarantine-class data: they are
+//! exported only into `BENCH_profile.json`, never into deterministic
+//! goldens (allocation counts of `std` internals are not part of the
+//! byte-stable contract).
+
+/// Snapshot of the process-global allocation counters. All zeros when
+/// the `prof-alloc` feature is off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Bytes currently allocated and not yet freed.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since process start.
+    pub peak_bytes: u64,
+    /// Cumulative bytes ever allocated (monotone).
+    pub allocated_bytes: u64,
+    /// Cumulative allocation calls (monotone; `realloc` growth counts
+    /// as one call).
+    pub alloc_calls: u64,
+}
+
+/// True when the crate was built with the `prof-alloc` feature, i.e.
+/// when [`stats`] can return non-zero figures (provided the binary
+/// registered [`CountingAlloc`]).
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "prof-alloc")
+}
+
+#[cfg(feature = "prof-alloc")]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static LIVE: AtomicU64 = AtomicU64::new(0);
+    static PEAK: AtomicU64 = AtomicU64::new(0);
+    static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+    static CALLS: AtomicU64 = AtomicU64::new(0);
+
+    pub fn live_bytes() -> u64 {
+        LIVE.load(Ordering::Relaxed)
+    }
+    pub fn peak_bytes() -> u64 {
+        PEAK.load(Ordering::Relaxed)
+    }
+    pub fn allocated_bytes() -> u64 {
+        ALLOCATED.load(Ordering::Relaxed)
+    }
+    pub fn alloc_calls() -> u64 {
+        CALLS.load(Ordering::Relaxed)
+    }
+
+    fn note_alloc(n: u64) {
+        CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED.fetch_add(n, Ordering::Relaxed);
+        let live = LIVE.fetch_add(n, Ordering::Relaxed) + n;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn note_dealloc(n: u64) {
+        LIVE.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Counting wrapper around the system allocator; see module docs.
+    pub struct CountingAlloc;
+
+    // The one permitted unsafe surface of the workspace: a pure
+    // pass-through to `System` plus relaxed atomic bookkeeping. No
+    // pointer arithmetic, no thread-locals (a TLS access here could
+    // recurse into the allocator), no panics.
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                note_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc_zeroed(layout) };
+            if !p.is_null() {
+                note_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) };
+            note_dealloc(layout.size() as u64);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = unsafe { System.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                let old = layout.size() as u64;
+                let new = new_size as u64;
+                if new >= old {
+                    note_alloc(new - old);
+                } else {
+                    note_dealloc(old - new);
+                }
+            }
+            p
+        }
+    }
+}
+
+/// The counting allocator type; register it in a binary with
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;`.
+/// Only available with the `prof-alloc` feature.
+#[cfg(feature = "prof-alloc")]
+pub use imp::CountingAlloc;
+
+/// Bytes currently allocated and not yet freed (0 without the
+/// `prof-alloc` feature or an unregistered allocator).
+pub fn live_bytes() -> u64 {
+    #[cfg(feature = "prof-alloc")]
+    {
+        imp::live_bytes()
+    }
+    #[cfg(not(feature = "prof-alloc"))]
+    {
+        0
+    }
+}
+
+/// High-water mark of live bytes since process start (0 without the
+/// feature).
+pub fn peak_bytes() -> u64 {
+    #[cfg(feature = "prof-alloc")]
+    {
+        imp::peak_bytes()
+    }
+    #[cfg(not(feature = "prof-alloc"))]
+    {
+        0
+    }
+}
+
+/// Cumulative bytes ever allocated (0 without the feature). Sampled by
+/// span guards at entry/exit; per-span deltas land in
+/// `BENCH_profile.json`.
+pub fn allocated_bytes() -> u64 {
+    #[cfg(feature = "prof-alloc")]
+    {
+        imp::allocated_bytes()
+    }
+    #[cfg(not(feature = "prof-alloc"))]
+    {
+        0
+    }
+}
+
+/// Cumulative allocation calls (0 without the feature).
+pub fn alloc_calls() -> u64 {
+    #[cfg(feature = "prof-alloc")]
+    {
+        imp::alloc_calls()
+    }
+    #[cfg(not(feature = "prof-alloc"))]
+    {
+        0
+    }
+}
+
+/// Snapshot all four counters at once.
+pub fn stats() -> AllocStats {
+    AllocStats {
+        live_bytes: live_bytes(),
+        peak_bytes: peak_bytes(),
+        allocated_bytes: allocated_bytes(),
+        alloc_calls: alloc_calls(),
+    }
+}
