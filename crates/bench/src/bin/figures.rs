@@ -3,7 +3,8 @@
 //! ```text
 //! figures <command> [--seed N] [--intervals N] [--workload wikipedia|vod]
 //!         [--scenario NAME] [--policy NAME] [--summary] [--out DIR]
-//!         [--jobs J] [--full] [--alloc] [--hours N] [--spans-golden]
+//!         [--jobs J] [--full] [--alloc] [--hours N] [--mem-gate]
+//!         [--spans-golden]
 //!
 //! commands:
 //!   fig3        workload traces (Fig. 3a/3b)
@@ -42,7 +43,11 @@
 //!               per-scenario JSON summaries, and write
 //!               BENCH_runner.json (simulated-requests-per-wall-second,
 //!               wall-clock quarantined) to --out DIR; --full adds the
-//!               day-scale 20 krps stress entry
+//!               long-horizon 20 krps stress entry (--hours N simulated
+//!               hours, default 24) with a per-hour wall-clock series;
+//!               --mem-gate exits non-zero if the process peak RSS
+//!               exceeds the recorded bound (BENCH_runner.json is
+//!               still written first)
 //!   profile     self-profile the workspace's own hot paths: sweep
 //!               grid at --jobs 1 and --jobs J plus a full-stack
 //!               runner phase (--scenario, default revocation_storm)
@@ -106,9 +111,13 @@ struct Args {
     /// `profile` only: request allocation accounting (requires a
     /// binary built with `--features prof-alloc`).
     alloc: bool,
-    /// `profile` only: simulated hours of the `--full` day-scale
-    /// phase (24 = the full day; smaller values are scaled probes).
+    /// `perf`/`profile`: simulated hours of the `--full` day-scale
+    /// phase (24 = the full day; 168 = a week; smaller values are
+    /// scaled probes).
     hours: usize,
+    /// `perf` only: fail (non-zero exit) if the process peak RSS
+    /// exceeds [`spotweb_bench::perf::MEM_GATE_BYTES`].
+    mem_gate: bool,
     /// `profile` only: print the `tests/golden/profile_spans.json`
     /// document (short runner phase span structure) instead of
     /// running the full harness.
@@ -131,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
         full: false,
         alloc: false,
         hours: 24,
+        mem_gate: false,
         spans_golden: false,
     };
     while let Some(flag) = args.next() {
@@ -165,6 +175,7 @@ fn parse_args() -> Result<Args, String> {
             "--summary" => out.summary = true,
             "--full" => out.full = true,
             "--alloc" => out.alloc = true,
+            "--mem-gate" => out.mem_gate = true,
             "--spans-golden" => out.spans_golden = true,
             "--hours" => {
                 out.hours = args
@@ -533,7 +544,7 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "perf" => {
             use spotweb_bench::perf;
-            let output = perf::run_command(seed, args.full)?;
+            let output = perf::run_command(seed, args.full, args.hours, args.mem_gate)?;
             // Deterministic per-scenario summaries on stdout;
             // wall-clock on stderr + BENCH_runner.json only.
             print!("{}", output.summary_lines);
@@ -542,11 +553,23 @@ fn run(args: &Args) -> Result<(), String> {
             let path = dir.join("BENCH_runner.json");
             std::fs::write(&path, &output.bench_json)
                 .map_err(|e| format!("write {}: {e}", path.display()))?;
+            if let Some(rss) = output.peak_rss_bytes {
+                eprintln!(
+                    "perf: peak RSS {:.1} MiB (gate {:.1} MiB)",
+                    rss as f64 / (1024.0 * 1024.0),
+                    perf::MEM_GATE_BYTES as f64 / (1024.0 * 1024.0),
+                );
+            }
             eprintln!(
                 "perf: {:.0} simulated requests per wall-second (aggregate); wrote {}",
                 output.aggregate_rps,
                 path.display()
             );
+            // The gate verdict comes after the record is on disk, so a
+            // failing run still leaves BENCH_runner.json to inspect.
+            if let Some(violation) = output.mem_gate_violation {
+                return Err(violation);
+            }
         }
         "profile" => {
             use spotweb_bench::profile;
@@ -632,6 +655,7 @@ fn run(args: &Args) -> Result<(), String> {
                     full: false,
                     alloc: false,
                     hours: 24,
+                    mem_gate: false,
                     spans_golden: false,
                 };
                 eprintln!("=== {cmd} ===");
@@ -647,7 +671,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|tournament|perf|profile|lint|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--policy NAME] [--summary] [--out DIR] [--jobs J] [--full] [--alloc] [--hours N] [--spans-golden]");
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|tournament|perf|profile|lint|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--policy NAME] [--summary] [--out DIR] [--jobs J] [--full] [--alloc] [--hours N] [--mem-gate] [--spans-golden]");
             return ExitCode::from(2);
         }
     };

@@ -1,7 +1,7 @@
 //! `figures profile` — the self-profiling harness (ISSUE 7).
 //!
 //! Runs the workspace's own hot paths under a
-//! [`prof`](spotweb_telemetry::prof) session and splits the result
+//! [`spotweb_telemetry::prof`] session and splits the result
 //! along the quarantine boundary:
 //!
 //! * **stdout** — the deterministic span *structure* (names, nesting,

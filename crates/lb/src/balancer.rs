@@ -87,10 +87,48 @@ pub struct LbStats {
     pub admission_rejections: u64,
 }
 
+/// Aggregate summary of backends compacted out of the balancer.
+///
+/// When a dead backend is fully settled (state [`BackendState::Down`],
+/// sessions removed, billing closed) the runner retires it via
+/// [`LoadBalancer::retire`]; its row leaves the dense backend vector
+/// and only these counters remain. External [`BackendId`]s are
+/// allocated monotonically and never reused, so a retired id stays
+/// distinguishable from every future backend forever.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetiredSummary {
+    /// Backends compacted so far.
+    pub count: usize,
+    /// Retired-backend count per market id (deterministic order).
+    pub per_market: std::collections::BTreeMap<usize, usize>,
+}
+
+/// Sentinel in `slot_of` marking an external id whose backend has been
+/// compacted away.
+const RETIRED: usize = usize::MAX;
+
 /// The transiency-aware (or vanilla) weighted-round-robin balancer.
+///
+/// # Identity vs. storage
+///
+/// Externally, backends are named by stable monotone [`BackendId`]s
+/// (the ids the session table, telemetry, and the simulator use).
+/// Internally they live in a *dense* vector of only the non-retired
+/// backends, ordered by ascending external id; `slot_of` maps id →
+/// slot. Control-path loops (routing tiers, admission capacity sums,
+/// portfolio reweighting) iterate the dense vector, so their cost is
+/// O(live backends) — constant over a week-scale run — instead of
+/// O(every backend ever provisioned).
 pub struct LoadBalancer {
     config: LoadBalancerConfig,
+    /// Dense vector of live (non-retired) backends, ascending by
+    /// external id.
     backends: Vec<Backend>,
+    /// External [`BackendId`] → slot in `backends`; [`RETIRED`] once
+    /// compacted. Also the id allocator: ids are `0..slot_of.len()`.
+    slot_of: Vec<usize>,
+    /// Summary of compacted backends (see [`RetiredSummary`]).
+    retired: RetiredSummary,
     wrr: SmoothWrr,
     sessions: SessionTable,
     admission: AdmissionController,
@@ -100,9 +138,9 @@ pub struct LoadBalancer {
     /// [`CounterHandle`]); re-resolved whenever the sink changes.
     admission_rejections: CounterHandle,
     no_backend_drops: CounterHandle,
-    /// Reusable per-route eligibility mask (`scratch[i]` = backend `i`
-    /// is healthy with headroom). Routing fills it in place instead of
-    /// collecting a fresh `Vec<bool>` on every tiered pick.
+    /// Reusable per-route eligibility mask (`scratch[slot]` = backend
+    /// in `slot` is healthy with headroom). Routing fills it in place
+    /// instead of collecting a fresh `Vec<bool>` on every tiered pick.
     scratch: Vec<bool>,
 }
 
@@ -113,6 +151,8 @@ impl LoadBalancer {
         LoadBalancer {
             config,
             backends: Vec::new(),
+            slot_of: Vec::new(),
+            retired: RetiredSummary::default(),
             wrr: SmoothWrr::new(Vec::new()),
             sessions: SessionTable::new(),
             admission,
@@ -141,30 +181,57 @@ impl LoadBalancer {
         startup_secs: f64,
         warmup_secs: f64,
     ) -> BackendId {
-        let id = self.backends.len();
+        let id = self.slot_of.len();
         let b = Backend::starting(id, market, capacity_rps, now, startup_secs, warmup_secs);
         self.wrr.push(b.weight);
+        self.slot_of.push(self.backends.len());
         self.backends.push(b);
         id
     }
 
     /// Register an already-serving backend (cluster bootstrap).
     pub fn add_backend_up(&mut self, market: usize, capacity_rps: f64) -> BackendId {
-        let id = self.backends.len();
+        let id = self.slot_of.len();
         let b = Backend::up(id, market, capacity_rps);
         self.wrr.push(b.weight);
+        self.slot_of.push(self.backends.len());
         self.backends.push(b);
         id
     }
 
-    /// All backends (read-only).
+    /// Live (non-retired) backends, ascending by external id.
+    ///
+    /// Until the first [`retire`](Self::retire) this is every backend
+    /// ever added and indexing by [`BackendId`] is valid; afterwards
+    /// use [`backend`](Self::backend) for by-id access.
     pub fn backends(&self) -> &[Backend] {
         &self.backends
     }
 
+    /// Backend by external id; `None` once retired.
+    pub fn backend(&self, id: BackendId) -> Option<&Backend> {
+        self.backends.get(*self.slot_of.get(id)?)
+    }
+
     /// Mutable backend access (simulator drives in-flight counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has been retired — the simulator only mutates
+    /// live backends.
     pub fn backend_mut(&mut self, id: BackendId) -> &mut Backend {
-        &mut self.backends[id]
+        &mut self.backends[self.slot_of[id]]
+    }
+
+    /// Total backends ever registered, retired or not. External ids are
+    /// exactly `0..ever_count()` and are never reused.
+    pub fn ever_count(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// Summary of backends compacted out of the dense vector.
+    pub fn retired(&self) -> &RetiredSummary {
+        &self.retired
     }
 
     /// Counters so far.
@@ -225,14 +292,15 @@ impl LoadBalancer {
     /// in flight is considered saturated.
     const OVERLOAD_FACTOR: f64 = 2.0;
 
-    /// Is `i` usable as a *fallback* target — a still-alive draining
-    /// backend with comfortable margin before termination? (§4.4: until
-    /// replacements are up, the revoked servers are still serving.)
-    fn drain_fallback_ok(&self, i: BackendId, now: f64) -> bool {
+    /// Is the backend in `slot` usable as a *fallback* target — a
+    /// still-alive draining backend with comfortable margin before
+    /// termination? (§4.4: until replacements are up, the revoked
+    /// servers are still serving.)
+    fn drain_fallback_ok(&self, slot: usize, now: f64) -> bool {
         if !self.config.transiency_aware {
             return false;
         }
-        match self.backends[i].state {
+        match self.backends[slot].state {
             BackendState::Draining { deadline } => {
                 deadline - now > Self::DRAIN_MARGIN_SERVICES * self.config.service_secs
             }
@@ -240,8 +308,8 @@ impl LoadBalancer {
         }
     }
 
-    fn is_saturated(&self, i: BackendId, now: f64) -> bool {
-        self.backends[i].utilization(now, self.config.service_secs) > Self::OVERLOAD_FACTOR
+    fn is_saturated(&self, slot: usize, now: f64) -> bool {
+        self.backends[slot].utilization(now, self.config.service_secs) > Self::OVERLOAD_FACTOR
     }
 
     /// Take the scratch mask, filled so `mask[i]` holds exactly when
@@ -278,8 +346,9 @@ impl LoadBalancer {
             // Capacity and load over every backend a request could use.
             let mut cap = 0.0;
             let mut in_flight = 0u64;
-            for b in &self.backends {
-                let usable = b.accepts_new(now) || self.drain_fallback_ok(b.id, now);
+            for slot in 0..self.backends.len() {
+                let b = &self.backends[slot];
+                let usable = b.accepts_new(now) || self.drain_fallback_ok(slot, now);
                 if usable {
                     cap += b.effective_capacity(now);
                     in_flight += b.in_flight;
@@ -301,9 +370,15 @@ impl LoadBalancer {
         // draining, or dead and a backend with headroom exists.
         if let Some(s) = session {
             if let Some(b) = self.sessions.lookup(s) {
-                let serves = self.backend_serves(b, now);
-                let on_draining_fallback = !serves && self.drain_fallback_ok(b, now);
-                let healthy = (serves || on_draining_fallback) && !self.is_saturated(b, now);
+                // Resolve the pinned external id to its slot; a retired
+                // backend behaves exactly like a Down one here (serves
+                // nothing, no fallback) and the saturation check is
+                // short-circuited away just as it was for Down.
+                let bslot = self.slot_of[b];
+                let serves = bslot != RETIRED && self.backend_serves(bslot, now);
+                let on_draining_fallback =
+                    !serves && bslot != RETIRED && self.drain_fallback_ok(bslot, now);
+                let healthy = (serves || on_draining_fallback) && !self.is_saturated(bslot, now);
                 let prefer_repin = !healthy || on_draining_fallback;
                 if prefer_repin {
                     // Seek capacity: healthy backends first, then
@@ -316,24 +391,25 @@ impl LoadBalancer {
                         .or_else(|| self.pick_least_utilized(now, |i| t1[i]))
                         .or_else(|| {
                             self.pick_least_utilized(now, |i| {
-                                i != b
+                                self.backends[i].id != b
                                     && self.drain_fallback_ok(i, now)
                                     && !self.is_saturated(i, now)
                             })
                         });
                     self.put_tier1_mask(t1);
                     if let Some(nb) = target {
-                        self.sessions.assign(s, nb);
+                        let nb_id = self.backends[nb].id;
+                        self.sessions.assign(s, nb_id);
                         self.backends[nb].in_flight += 1;
                         self.stats.routed += 1;
                         if on_draining_fallback || !serves {
                             self.stats.migrations += 1;
                         }
-                        return RouteOutcome::Routed(nb);
+                        return RouteOutcome::Routed(nb_id);
                     }
                 }
                 if serves || on_draining_fallback {
-                    self.backends[b].in_flight += 1;
+                    self.backends[bslot].in_flight += 1;
                     self.stats.routed += 1;
                     return RouteOutcome::Routed(b);
                 }
@@ -343,11 +419,12 @@ impl LoadBalancer {
         }
         let pick = self.pick_tiered(now);
         match pick {
-            Some(b) => {
+            Some(slot) => {
+                let b = self.backends[slot].id;
                 if let Some(s) = session {
                     self.sessions.assign(s, b);
                 }
-                self.backends[b].in_flight += 1;
+                self.backends[slot].in_flight += 1;
                 self.stats.routed += 1;
                 RouteOutcome::Routed(b)
             }
@@ -359,11 +436,12 @@ impl LoadBalancer {
         }
     }
 
-    /// Least-utilized backend among those where `eligible` holds.
-    /// Used by the fallback tiers, whose members often carry zero
-    /// portfolio weight (e.g. draining servers the optimizer already
-    /// dropped) and therefore cannot go through the WRR.
-    fn pick_least_utilized(&self, now: f64, eligible: impl Fn(usize) -> bool) -> Option<BackendId> {
+    /// Slot of the least-utilized backend among those where
+    /// `eligible(slot)` holds. Used by the fallback tiers, whose
+    /// members often carry zero portfolio weight (e.g. draining servers
+    /// the optimizer already dropped) and therefore cannot go through
+    /// the WRR. Ties pick the lowest slot, i.e. the lowest external id.
+    fn pick_least_utilized(&self, now: f64, eligible: impl Fn(usize) -> bool) -> Option<usize> {
         let service = self.config.service_secs;
         (0..self.backends.len())
             .filter(|&i| eligible(i))
@@ -375,7 +453,8 @@ impl LoadBalancer {
             })
     }
 
-    fn pick_tiered(&mut self, now: f64) -> Option<BackendId> {
+    /// Tiered pick; returns a *slot* into the dense backend vector.
+    fn pick_tiered(&mut self, now: f64) -> Option<usize> {
         // Tier 1: healthy backends with headroom, via weighted RR.
         let t1 = self.take_tier1_mask(now);
         if let Some(b) = self.wrr.pick(|i| t1[i]) {
@@ -405,9 +484,19 @@ impl LoadBalancer {
 
     /// A request on `backend` finished; `session_done` removes the
     /// session pin as well (end of user session).
+    ///
+    /// Safe to call for a retired `backend`: a request may complete
+    /// after its server died and was compacted, in which case there is
+    /// no in-flight counter left to decrement (death already zeroed
+    /// it — the old saturating decrement on a Down backend was a no-op
+    /// too), but the session pin is still cleared wherever the session
+    /// lives now.
     pub fn complete(&mut self, backend: BackendId, session_done: Option<u64>) {
-        let b = &mut self.backends[backend];
-        b.in_flight = b.in_flight.saturating_sub(1);
+        let slot = self.slot_of[backend];
+        if slot != RETIRED {
+            let b = &mut self.backends[slot];
+            b.in_flight = b.in_flight.saturating_sub(1);
+        }
         if let Some(s) = session_done {
             self.sessions.remove(s);
         }
@@ -425,8 +514,9 @@ impl LoadBalancer {
         now: f64,
         warning_secs: f64,
     ) -> WarningReport {
+        let bslot = self.slot_of[backend];
         let deadline = now + warning_secs;
-        let capacity_gap_rps = self.backends[backend].capacity_rps;
+        let capacity_gap_rps = self.backends[bslot].capacity_rps;
         let drain_kind = if warning_secs.is_finite() {
             "revocation"
         } else {
@@ -440,7 +530,7 @@ impl LoadBalancer {
                 now,
                 TraceEvent::Drain(DrainRecord {
                     backend,
-                    market: self.backends[backend].market,
+                    market: self.backends[bslot].market,
                     kind: drain_kind.to_string(),
                     warning_secs,
                     deadline,
@@ -455,16 +545,16 @@ impl LoadBalancer {
                 capacity_gap_rps,
             };
         }
-        self.backends[backend].state = BackendState::Draining { deadline };
+        self.backends[bslot].state = BackendState::Draining { deadline };
         // Weight stays: the draining backend may still serve as a tier-2
         // fallback until the cluster has replacement capacity.
         // Migrate sessions to the least-utilized *unsaturated* accepting
         // backends; sessions beyond their headroom stay pinned and
         // re-home lazily as replacements come up.
         let service = self.config.service_secs;
-        let mut target_cache: Vec<BackendId> = (0..self.backends.len())
+        let mut target_cache: Vec<usize> = (0..self.backends.len())
             .filter(|&i| {
-                i != backend && self.backends[i].accepts_new(now) && !self.is_saturated(i, now)
+                i != bslot && self.backends[i].accepts_new(now) && !self.is_saturated(i, now)
             })
             .collect();
         // Sort once by utilization; round-robin over the sorted list.
@@ -483,15 +573,18 @@ impl LoadBalancer {
                     .max(0.0)
             })
             .sum();
+        // The session table speaks external ids, not slots.
+        let target_ids: Vec<BackendId> =
+            target_cache.iter().map(|&i| self.backends[i].id).collect();
         // Sessions are mostly idle between requests; allow a generous
         // multiple of the instantaneous slot headroom.
         let budget = (spare_slots * 50.0) as usize;
         let mut cursor = 0;
         let (migrated, stayed) = self.sessions.migrate_all(backend, || {
-            if target_cache.is_empty() || cursor >= budget {
+            if target_ids.is_empty() || cursor >= budget {
                 return None;
             }
-            let t = target_cache[cursor % target_cache.len()];
+            let t = target_ids[cursor % target_ids.len()];
             cursor += 1;
             Some(t)
         });
@@ -500,7 +593,7 @@ impl LoadBalancer {
             now,
             TraceEvent::Drain(DrainRecord {
                 backend,
-                market: self.backends[backend].market,
+                market: self.backends[bslot].market,
                 kind: drain_kind.to_string(),
                 warning_secs,
                 deadline,
@@ -520,23 +613,63 @@ impl LoadBalancer {
     /// still pinned there is lost; returns how many. In-flight requests
     /// are the simulator's to fail.
     pub fn server_died(&mut self, backend: BackendId, now: f64) -> usize {
-        self.backends[backend].state = BackendState::Down;
-        self.wrr.set_weight(backend, 0.0);
+        let slot = self.slot_of[backend];
+        self.backends[slot].state = BackendState::Down;
+        self.wrr.set_weight(slot, 0.0);
         let lost = self.sessions.sessions_on(backend);
         for s in &lost {
             self.sessions.remove(*s);
         }
         self.stats.sessions_lost += lost.len() as u64;
-        self.backends[backend].in_flight = 0;
+        self.backends[slot].in_flight = 0;
         self.telemetry.emit_at(
             now,
             TraceEvent::BackendDeath {
                 backend,
-                market: self.backends[backend].market,
+                market: self.backends[slot].market,
                 sessions_lost: lost.len(),
             },
         );
         lost.len()
+    }
+
+    /// Compact a permanently dead backend out of the dense vector,
+    /// leaving only its [`RetiredSummary`] contribution behind. The
+    /// external id stays allocated forever — [`backend`](Self::backend)
+    /// returns `None`, [`restore_backend`](Self::restore_backend)
+    /// panics — so a later backend bought in the same market can never
+    /// be confused with the corpse.
+    ///
+    /// Behaviour-preserving by construction: a Down backend is
+    /// invisible to every control-path loop (zero effective capacity,
+    /// never accepting, zero in-flight, WRR weight pinned to 0), so
+    /// dropping its row changes no route, no admission decision, and no
+    /// portfolio reweighting — it only stops the loops from walking a
+    /// corpse. Call it for *permanent* deaths only; a flapping backend
+    /// that will be restored must keep its row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend is not [`BackendState::Down`] or was
+    /// already retired.
+    pub fn retire(&mut self, backend: BackendId) {
+        let slot = self.slot_of[backend];
+        assert!(slot != RETIRED, "backend {backend} retired twice");
+        let b = &self.backends[slot];
+        assert!(
+            b.state == BackendState::Down,
+            "only a dead backend can be retired"
+        );
+        self.retired.count += 1;
+        *self.retired.per_market.entry(b.market).or_insert(0) += 1;
+        self.backends.remove(slot);
+        self.wrr.remove(slot);
+        self.slot_of[backend] = RETIRED;
+        // Every backend after the vacated slot shifted down by one.
+        for moved in &self.backends[slot..] {
+            self.slot_of[moved.id] -= 1;
+        }
+        self.sessions.forget_backend(backend);
     }
 
     /// A flapped backend came back (fault-injection recovery): resume
@@ -545,7 +678,12 @@ impl LoadBalancer {
     /// it went down — and warms its cache again until
     /// `now + warmup_secs`.
     pub fn restore_backend(&mut self, backend: BackendId, now: f64, warmup_secs: f64) {
-        let b = &mut self.backends[backend];
+        let slot = self.slot_of[backend];
+        assert!(
+            slot != RETIRED,
+            "backend {backend} was retired; ids are never reused"
+        );
+        let b = &mut self.backends[slot];
         assert!(
             b.state == BackendState::Down,
             "only a down backend can be restored"
@@ -554,12 +692,12 @@ impl LoadBalancer {
         b.in_flight = 0;
         b.warm_until = now + warmup_secs;
         let w = b.weight;
-        self.wrr.set_weight(backend, w);
+        self.wrr.set_weight(slot, w);
         self.telemetry.emit_at(
             now,
             TraceEvent::BackendRestore {
                 backend,
-                market: self.backends[backend].market,
+                market: self.backends[slot].market,
                 warmup_secs,
             },
         );
@@ -572,8 +710,8 @@ impl LoadBalancer {
         self.revocation_warning(backend, now, f64::INFINITY)
     }
 
-    fn backend_serves(&self, id: BackendId, now: f64) -> bool {
-        match self.backends[id].state {
+    fn backend_serves(&self, slot: usize, now: f64) -> bool {
+        match self.backends[slot].state {
             BackendState::Up => true,
             BackendState::Starting { ready_at } => now >= ready_at,
             // Sticky traffic may continue to a draining backend only in
@@ -810,6 +948,113 @@ mod tests {
         assert_eq!(drain.kind, "revocation");
         assert_eq!(drain.deadline, 130.0);
         assert_eq!(drain.sessions_migrated + drain.sessions_stayed, on_a);
+    }
+
+    #[test]
+    fn retire_compacts_but_preserves_ids_and_routing() {
+        let mut lb = aware();
+        let a = lb.add_backend_up(0, 100.0);
+        let b = lb.add_backend_up(1, 100.0);
+        let c = lb.add_backend_up(0, 100.0);
+        lb.server_died(b, 1.0);
+        lb.retire(b);
+        // The corpse is gone from the dense vector...
+        assert_eq!(lb.backends().len(), 2);
+        assert_eq!(lb.ever_count(), 3);
+        assert!(lb.backend(b).is_none());
+        assert_eq!(lb.retired().count, 1);
+        assert_eq!(lb.retired().per_market.get(&1), Some(&1));
+        // ...but external ids keep resolving and routing still works.
+        assert_eq!(lb.backend(a).unwrap().id, a);
+        assert_eq!(lb.backend(c).unwrap().id, c);
+        let mut seen = [false; 3];
+        for _ in 0..10 {
+            match lb.route(None, 2.0) {
+                RouteOutcome::Routed(x) => {
+                    seen[x] = true;
+                    lb.complete(x, None);
+                }
+                _ => panic!("must route"),
+            }
+        }
+        assert!(seen[a] && seen[c] && !seen[b]);
+        // A new backend gets a fresh id, never the retired one.
+        let d = lb.add_backend_up(1, 100.0);
+        assert_eq!(d, 3);
+        assert_eq!(lb.backend(d).unwrap().id, d);
+    }
+
+    #[test]
+    fn retire_then_complete_is_safe() {
+        let mut lb = aware();
+        let a = lb.add_backend_up(0, 100.0);
+        lb.add_backend_up(0, 100.0);
+        lb.route(Some(9), 0.0);
+        lb.route(Some(10), 0.0);
+        lb.server_died(a, 1.0);
+        lb.retire(a);
+        // A request that was in flight on `a` completes after the
+        // compaction: no panic, and the session pin clears wherever the
+        // session lives now.
+        lb.complete(a, Some(9));
+        assert_eq!(lb.sessions().lookup(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "never reused")]
+    fn retired_backend_cannot_be_restored() {
+        let mut lb = aware();
+        let a = lb.add_backend_up(0, 100.0);
+        lb.server_died(a, 1.0);
+        lb.retire(a);
+        lb.restore_backend(a, 2.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only a dead backend")]
+    fn live_backend_cannot_be_retired() {
+        let mut lb = aware();
+        let a = lb.add_backend_up(0, 100.0);
+        lb.retire(a);
+    }
+
+    #[test]
+    fn retire_is_invisible_to_route_sequence() {
+        // Drive two balancers through the same request sequence; one
+        // retires its corpse, one keeps it. Every route decision must
+        // be identical — the "why the goldens don't change" argument in
+        // miniature.
+        let mk = || {
+            let mut lb = aware();
+            lb.add_backend_up(0, 100.0);
+            lb.add_backend_up(1, 100.0);
+            lb.add_backend_up(0, 100.0);
+            lb
+        };
+        let mut keep = mk();
+        let mut compact = mk();
+        for s in 0..12u64 {
+            keep.route(Some(s), 0.0);
+            compact.route(Some(s), 0.0);
+        }
+        keep.revocation_warning(1, 1.0, 10.0);
+        compact.revocation_warning(1, 1.0, 10.0);
+        keep.server_died(1, 11.0);
+        compact.server_died(1, 11.0);
+        compact.retire(1);
+        keep.update_portfolio_weights(&[0.6, 0.4], 12.0);
+        compact.update_portfolio_weights(&[0.6, 0.4], 12.0);
+        for s in 0..40u64 {
+            let now = 12.0 + s as f64;
+            let a = keep.route(Some(s % 14), now);
+            let b = compact.route(Some(s % 14), now);
+            assert_eq!(a, b, "diverged at request {s}");
+        }
+        assert_eq!(keep.stats(), compact.stats());
+        assert_eq!(
+            keep.effective_capacity(20.0),
+            compact.effective_capacity(20.0)
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //!   warnings and keeps routing to a revoked server until it dies.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod admission;
 pub mod backend;
@@ -38,8 +38,10 @@ pub mod wrr;
 
 pub use admission::AdmissionController;
 pub use backend::{Backend, BackendId, BackendState};
-pub use balancer::{LbStats, LoadBalancer, LoadBalancerConfig, RouteOutcome, WarningReport};
-pub use monitor::{MonitorSnapshot, MonitorWindow};
+pub use balancer::{
+    LbStats, LoadBalancer, LoadBalancerConfig, RetiredSummary, RouteOutcome, WarningReport,
+};
+pub use monitor::{MonitorRates, MonitorSnapshot, MonitorWindow};
 pub use session::SessionTable;
 pub use spotweb_telemetry::{TelemetrySink, TraceEvent};
 pub use wrr::SmoothWrr;

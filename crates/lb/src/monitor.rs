@@ -29,12 +29,36 @@ pub struct MonitorSnapshot {
     pub p99_latency: f64,
 }
 
+/// Constant-time rate statistics over the monitoring window.
+///
+/// The subset of [`MonitorSnapshot`] that the control loop consumes
+/// every interval (arrival rate for the predictor, throughput and drop
+/// rate for the rollups). Unlike [`MonitorWindow::snapshot`], which
+/// sorts every served latency in the window (`O(n log n)` — ~72 M
+/// records at day scale), [`MonitorWindow::rates`] reads two running
+/// counters and is O(1) after eviction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorRates {
+    /// Window length actually covered (seconds).
+    pub window_secs: f64,
+    /// Request arrival rate (req/s), served + dropped.
+    pub arrival_rate: f64,
+    /// Served-request throughput (req/s).
+    pub throughput: f64,
+    /// Drop rate (fraction of arrivals).
+    pub drop_rate: f64,
+}
+
 /// Rolling per-request record window.
 #[derive(Debug, Clone)]
 pub struct MonitorWindow {
     window_secs: f64,
     /// (arrival time, latency) — latency NaN marks a drop.
     records: VecDeque<(f64, f64)>,
+    /// Served (finite-latency) records currently in `records`,
+    /// maintained incrementally on push/evict so rate statistics never
+    /// rescan the window.
+    served_in_window: usize,
 }
 
 impl MonitorWindow {
@@ -44,13 +68,17 @@ impl MonitorWindow {
         MonitorWindow {
             window_secs,
             records: VecDeque::new(),
+            served_in_window: 0,
         }
     }
 
     fn evict(&mut self, now: f64) {
-        while let Some(&(t, _)) = self.records.front() {
+        while let Some(&(t, l)) = self.records.front() {
             if now - t > self.window_secs {
                 self.records.pop_front();
+                if l.is_finite() {
+                    self.served_in_window -= 1;
+                }
             } else {
                 break;
             }
@@ -62,6 +90,7 @@ impl MonitorWindow {
     pub fn record_served(&mut self, arrival: f64, latency: f64) {
         assert!(latency >= 0.0 && latency.is_finite());
         self.records.push_back((arrival, latency));
+        self.served_in_window += 1;
         self.evict(arrival);
     }
 
@@ -79,6 +108,52 @@ impl MonitorWindow {
     /// `true` before any record.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// Reduce the window to rate statistics at time `now` in O(1).
+    ///
+    /// Produces bit-identical `window_secs` / `arrival_rate` /
+    /// `throughput` / `drop_rate` to [`snapshot`](Self::snapshot) —
+    /// the covered-window clamp and the divisions are the same
+    /// expressions — without collecting or sorting latencies, so the
+    /// per-interval control loop stays constant-work no matter how
+    /// many requests the window holds.
+    ///
+    /// ```
+    /// use spotweb_lb::MonitorWindow;
+    ///
+    /// let mut m = MonitorWindow::new(10.0);
+    /// for k in 0..20 {
+    ///     m.record_served(k as f64 * 0.5, 0.1); // 2 req/s for 10 s
+    /// }
+    /// m.record_dropped(9.5);
+    /// let r = m.rates(9.5);
+    /// assert!((r.arrival_rate - 21.0 / 9.5).abs() < 1e-12);
+    /// assert!((r.drop_rate - 1.0 / 21.0).abs() < 1e-12);
+    /// // Same floats as the full snapshot, at O(1) instead of
+    /// // O(n log n):
+    /// let s = m.snapshot(9.5);
+    /// assert_eq!(r.arrival_rate, s.arrival_rate);
+    /// assert_eq!(r.throughput, s.throughput);
+    /// ```
+    pub fn rates(&mut self, now: f64) -> MonitorRates {
+        self.evict(now);
+        let covered = match self.records.front() {
+            Some(&(t, _)) => (now - t).max(1e-9).min(self.window_secs),
+            None => self.window_secs,
+        };
+        let total = self.records.len() as f64;
+        let served = self.served_in_window as f64;
+        MonitorRates {
+            window_secs: covered,
+            arrival_rate: total / covered,
+            throughput: served / covered,
+            drop_rate: if total > 0.0 {
+                (total - served) / total
+            } else {
+                0.0
+            },
+        }
     }
 
     /// Reduce the window to a snapshot at time `now`.
@@ -191,6 +266,28 @@ mod tests {
         let s = m.snapshot(10.0);
         assert!(s.p50_latency < s.p99_latency);
         assert!(s.p99_latency <= 1.0);
+    }
+
+    #[test]
+    fn rates_match_snapshot_bitwise() {
+        // The O(1) fast path must agree with the full reduction float
+        // for float, including across evictions and drops.
+        let mut m = MonitorWindow::new(5.0);
+        for k in 0..200 {
+            let t = k as f64 * 0.25;
+            if k % 7 == 0 {
+                m.record_dropped(t);
+            } else {
+                m.record_served(t, 0.01 * (k % 13) as f64);
+            }
+            let now = t + 0.1;
+            let r = m.rates(now);
+            let s = m.snapshot(now);
+            assert_eq!(r.window_secs, s.window_secs);
+            assert_eq!(r.arrival_rate, s.arrival_rate);
+            assert_eq!(r.throughput, s.throughput);
+            assert_eq!(r.drop_rate, s.drop_rate);
+        }
     }
 
     #[test]

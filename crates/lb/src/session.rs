@@ -112,6 +112,21 @@ impl SessionTable {
         self.per_backend.get(&backend).map_or(0, |v| v.len())
     }
 
+    /// Drop the (empty) reverse-index entry for a backend that is being
+    /// compacted out of the balancer, so the `per_backend` map stays
+    /// O(live backends) over arbitrarily long runs. The backend must
+    /// have no pinned sessions left — compaction only happens after
+    /// [`server_died`](crate::LoadBalancer::server_died) removed them.
+    pub fn forget_backend(&mut self, backend: BackendId) {
+        if let Some(v) = self.per_backend.remove(&backend) {
+            assert!(
+                v.is_empty(),
+                "cannot forget a backend with {} pinned sessions",
+                v.len()
+            );
+        }
+    }
+
     /// Migrate every session off `from`, assigning each via `pick`
     /// (called once per session; returning `None` — or `from` itself —
     /// leaves the session pinned where it is, to be re-homed lazily

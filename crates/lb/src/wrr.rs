@@ -67,6 +67,19 @@ impl SmoothWrr {
         self.current.push(0.0);
     }
 
+    /// Remove candidate `idx`, shifting later candidates down by one.
+    ///
+    /// Used when a dead backend is compacted out of the balancer: a
+    /// retired candidate can never become eligible again, so dropping
+    /// its (weight, counter) pair is invisible to every future
+    /// [`pick`](Self::pick) — `pick` only reads entries that are
+    /// eligible with positive weight, and the surviving candidates keep
+    /// their counters, preserving the smooth-WRR cycle phase exactly.
+    pub fn remove(&mut self, idx: usize) {
+        self.weights.remove(idx);
+        self.current.remove(idx);
+    }
+
     /// Pick the next candidate among those where `eligible(idx)` holds.
     /// Returns `None` when no eligible candidate has positive weight.
     pub fn pick(&mut self, eligible: impl Fn(usize) -> bool) -> Option<usize> {
@@ -154,6 +167,24 @@ mod tests {
         wrr.set_weights(vec![4.0, 1.0]);
         let after = count_picks(&mut wrr, 100);
         assert_eq!(after, vec![80, 20]);
+    }
+
+    #[test]
+    fn remove_is_invisible_to_survivors() {
+        // Two live candidates with a zero-weight corpse between them:
+        // compacting the corpse out must not disturb the survivors'
+        // smooth-WRR cycle phase.
+        let mut a = SmoothWrr::new(vec![3.0, 1.0, 2.0]);
+        a.set_weight(1, 0.0);
+        let _ = a.pick(|_| true);
+        let mut b = a.clone();
+        b.remove(1);
+        for _ in 0..50 {
+            let pa = a.pick(|_| true).unwrap();
+            let pb = b.pick(|_| true).unwrap();
+            let pa_compact = if pa > 1 { pa - 1 } else { pa };
+            assert_eq!(pa_compact, pb);
+        }
     }
 
     #[test]

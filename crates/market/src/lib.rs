@@ -33,7 +33,7 @@
 //! EXPERIMENTS.md is exactly reproducible.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod billing;
 pub mod catalog;
@@ -46,6 +46,7 @@ pub mod price;
 pub mod providers;
 pub mod revocation;
 
+pub use billing::{BillingLedger, BillingModel, CostMeter};
 pub use catalog::{Catalog, InstanceType, Market, MarketId, MarketKind};
 pub use cloud::CloudSim;
 pub use covariance::{correlation_groups, estimate_correlation, estimate_covariance};

@@ -231,7 +231,15 @@ impl InvariantChecker {
     /// against the backend's current state.
     pub fn on_route(&mut self, lb: &LoadBalancer, backend: usize, now: f64) {
         self.in_flight += 1;
-        match lb.backends()[backend].state {
+        let Some(b) = lb.backend(backend) else {
+            // A retired backend is deader than Down: routing to it is
+            // impossible by construction, so treat it as the same
+            // violation if it ever happens.
+            // spotweb-lint: allow(no-float-display-in-renderers) -- fixed-precision diagnostic, deterministic and golden-locked
+            self.violate(format!("t={now:.3}: routed to retired backend {backend}"));
+            return;
+        };
+        match b.state {
             BackendState::Down => {
                 // spotweb-lint: allow(no-float-display-in-renderers) -- fixed-precision diagnostic, deterministic and golden-locked
                 self.violate(format!("t={now:.3}: routed to down backend {backend}"));

@@ -52,7 +52,9 @@ pub use faults::{
     Replacement, NAMED_SCENARIOS,
 };
 pub use metrics::{BucketStats, LatencyRecorder};
-pub use runner::{run_full_stack, FleetPolicy, RunnerConfig, RunnerReport};
+pub use runner::{
+    run_full_stack, run_full_stack_observed, FleetPolicy, RunnerConfig, RunnerReport,
+};
 pub use scenario::{FailoverReport, FailoverScenario};
 pub use service::ServiceModel;
 pub use spotweb_telemetry::{TelemetrySink, TraceEvent};

@@ -42,7 +42,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use spotweb_lb::{BackendState, LoadBalancer, LoadBalancerConfig, MonitorWindow, RouteOutcome};
-use spotweb_market::billing::{BillingModel, CostMeter};
+use spotweb_market::billing::{BillingLedger, BillingModel, CostMeter};
 use spotweb_market::CloudSim;
 use spotweb_telemetry::{names, prof, CounterHandle, HistogramHandle, TelemetrySink, TraceEvent};
 use spotweb_workload::Trace;
@@ -174,6 +174,24 @@ pub fn run_full_stack(
     trace: &Trace,
     config: &RunnerConfig,
 ) -> RunnerReport {
+    run_full_stack_observed(policy, cloud, trace, config, &mut |_, _| {})
+}
+
+/// [`run_full_stack`] with a per-interval observation hook.
+///
+/// `on_interval(interval, cumulative_arrivals)` is called once at the
+/// end of every decision interval with the total arrivals (routed +
+/// dropped) seen so far. The hook exists for *host-side* observers —
+/// e.g. the bench harness timing wall-clock per simulated hour — and
+/// must not feed anything back into the run; the runner's behaviour is
+/// identical for any hook.
+pub fn run_full_stack_observed(
+    policy: &mut dyn FleetPolicy,
+    cloud: &mut CloudSim,
+    trace: &Trace,
+    config: &RunnerConfig,
+    on_interval: &mut dyn FnMut(usize, u64),
+) -> RunnerReport {
     // Wall-clock profiling span for the whole run (inert unless a
     // prof session is active; distinct from the sim-clock trace spans
     // emitted through `sink` below).
@@ -185,9 +203,6 @@ pub fn run_full_stack(
     lb.set_telemetry(sink.clone());
     cloud.set_telemetry(sink.clone());
     let mut services: Vec<ServiceModel> = Vec::new();
-    // Currently-dead-since time per backend (billing/liveness; cleared
-    // when a flapped backend restores).
-    let mut death_time: Vec<Option<f64>> = Vec::new();
     // Latest death ever per backend (never cleared; classifies
     // in-flight work that spans a death even across a restore).
     let mut last_death: Vec<Option<f64>> = Vec::new();
@@ -211,6 +226,11 @@ pub fn run_full_stack(
     let mut pending_restores: Vec<(f64, usize, usize)> = Vec::new();
     let mut checker = InvariantChecker::new();
     let mut meter = CostMeter::new(n_markets, BillingModel::PerSecond);
+    // Event-driven cost accounting: backends enter the ledger when
+    // bought, move to its died list when their death *fires*, and each
+    // interval settles in O(live + died this interval) — same charge
+    // sequence as the old all-backends scan (see `BillingLedger`).
+    let mut billing = BillingLedger::new();
     let mut revocations = 0u32;
     let mut relinquished = 0u32;
     // Birth time per backend, for the provider lifetime cap.
@@ -364,7 +384,9 @@ pub fn run_full_stack(
         let observed_rps = if interval == 0 {
             trace.rate_at(t0)
         } else {
-            monitor.snapshot(t0).arrival_rate
+            // O(1) rolling rates — same float as the full snapshot's
+            // `arrival_rate`, without sorting the window's latencies.
+            monitor.rates(t0).arrival_rate
         };
         let desired = policy.decide_fleet(
             interval,
@@ -396,9 +418,9 @@ pub fn run_full_stack(
                         t0 + startup + warmup
                     };
                     services.push(ServiceModel::new(cap, config.service_secs, warm_until));
-                    death_time.push(None);
                     last_death.push(None);
                     born_at.push(t0);
+                    billing.add(id, m);
                     alive[m].push(id);
                 }
             } else if have > want {
@@ -468,9 +490,9 @@ pub fn run_full_stack(
                             config.service_secs,
                             t0 + startup + warmup,
                         ));
-                        death_time.push(None);
                         last_death.push(None);
                         born_at.push(t0);
+                        billing.add(new_id, m);
                         alive_m.push(new_id);
                     } else {
                         idx += 1;
@@ -514,9 +536,9 @@ pub fn run_full_stack(
                 config.service_secs,
                 t0 + startup + warmup,
             ));
-            death_time.push(None);
             last_death.push(None);
             born_at.push(t0);
+            billing.add(new_id, e.market);
             alive[e.market].push(new_id);
         }
 
@@ -549,9 +571,9 @@ pub fn run_full_stack(
                         config.service_secs,
                         t0 + startup + warmup,
                     ));
-                    death_time.push(None);
                     last_death.push(None);
                     born_at.push(t0);
+                    billing.add(new_id, m);
                     alive[m].push(new_id);
                 }
             }
@@ -641,8 +663,18 @@ pub fn run_full_stack(
                 if deadline <= now {
                     lb.server_died(id, deadline);
                     services[id].kill(deadline);
-                    death_time[id] = Some(deadline);
                     last_death[id] = Some(deadline);
+                    billing.mark_died(id, deadline);
+                    // Permanent death: compact the corpse out of the
+                    // balancer and free its service queues. Every
+                    // arrival routed to `id` precedes the deadline (the
+                    // arrival loop breaks at the control timepoint), so
+                    // nothing live references the row; completions
+                    // still in the calendar resolve through the
+                    // retire-safe `lb.complete`.
+                    prof::scope!(names::SPAN_RUNNER_COMPACT);
+                    lb.retire(id);
+                    services[id].release();
                     false
                 } else {
                     true
@@ -656,8 +688,12 @@ pub fn run_full_stack(
                         let id = alive[market].remove(0);
                         lb.server_died(id, fire_time);
                         services[id].kill(fire_time);
-                        death_time[id] = Some(fire_time);
                         last_death[id] = Some(fire_time);
+                        // A flap is a temporary death: the backend is
+                        // NOT retired (its restore is already
+                        // scheduled), but billing stops at fire time
+                        // unless the restore lands in the same interval.
+                        billing.mark_died(id, fire_time);
                         pending_restores.push((fire_time + down_secs, id, market));
                     }
                     false
@@ -677,7 +713,7 @@ pub fn run_full_stack(
             for (restore_time, id, market) in restored {
                 let warmup = config.warmup_secs + extra_warmup;
                 lb.restore_backend(id, restore_time, warmup);
-                death_time[id] = None;
+                billing.restore(id, market);
                 let cap = cloud.catalog().market(market).capacity_rps();
                 services[id] = ServiceModel::new(cap, config.service_secs, restore_time + warmup);
                 alive[market].push(id);
@@ -723,23 +759,25 @@ pub fn run_full_stack(
         // Bill every backend that existed during any part of the
         // interval — including draining/decommissioned servers still
         // finishing work — at this tick's price (per-second model).
-        for (id, b) in lb.backends().iter().enumerate() {
-            let billed_secs = match death_time[id] {
-                Some(d) if d <= t0 => 0.0,
-                Some(d) => (d - t0).min(config.interval_secs),
-                None => config.interval_secs,
-            };
-            if billed_secs > 0.0 {
-                meter.charge(b.market, 1, tick.prices[b.market], billed_secs);
-            }
+        // The ledger replays the old ascending-id scan's exact charge
+        // sequence in O(live + died-this-interval).
+        {
+            prof::scope!(names::SPAN_RUNNER_BILLING);
+            billing.settle(t0, config.interval_secs, &tick.prices, &mut meter);
         }
 
-        // End-of-interval rollup. The monitor is cloned so the
-        // snapshot's eviction cannot perturb what the policy reads at
-        // the next interval start — a telemetry-enabled run replays
-        // the exact same decisions as a disabled one.
+        // End-of-interval rollup: O(1) monitor rates, in place. The
+        // eviction this performs at `t_end` is idempotent with the one
+        // the next interval's policy read performs at the same
+        // timepoint, so a telemetry-enabled run still replays the
+        // exact same decisions as a disabled one. (The old full-window
+        // clone + snapshot copied and sorted ~rate × window records
+        // per interval — at day scale, 72 M — purely to shield the
+        // next read; the span now measures the rollup itself, not
+        // instrumentation overhead.)
         if sink.is_enabled() {
-            let snap = monitor.clone().snapshot(t_end);
+            prof::scope!(names::SPAN_RUNNER_ROLLUP);
+            let rates = monitor.rates(t_end);
             let stats = recorder.bucket_stats(interval);
             sink.gauge(names::FLEET_SIZE, fleet_sizes[interval] as f64);
             sink.emit_at(
@@ -748,9 +786,9 @@ pub fn run_full_stack(
                     interval: interval as u64,
                     observed_rps,
                     fleet_size: fleet_sizes[interval],
-                    arrival_rate: snap.arrival_rate,
-                    throughput: snap.throughput,
-                    drop_rate: snap.drop_rate,
+                    arrival_rate: rates.arrival_rate,
+                    throughput: rates.throughput,
+                    drop_rate: rates.drop_rate,
                     p50_latency: stats.p50,
                     p99_latency: stats.p99,
                 },
@@ -758,6 +796,7 @@ pub fn run_full_stack(
         }
         sink.set_clock(t_end);
         sink.span_end(span, "interval");
+        on_interval(interval, lb.stats().routed + lb.stats().dropped);
     }
 
     checker.check_drained();

@@ -154,6 +154,18 @@ impl ServiceModel {
         self.slots.fill(f64::NEG_INFINITY);
         dropped
     }
+
+    /// Release the model's memory after its server was permanently
+    /// retired (compacted out of the balancer). The model keeps its
+    /// index in the per-backend array — external backend ids are never
+    /// reused — but a retired server can never [`admit`](Self::admit)
+    /// or [`kill`](Self::kill) again, so the slot heap and outstanding
+    /// queue are freed rather than carried for the rest of a week-scale
+    /// run.
+    pub fn release(&mut self) {
+        self.slots = Vec::new();
+        self.outstanding = VecDeque::new();
+    }
 }
 
 #[cfg(test)]

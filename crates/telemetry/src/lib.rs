@@ -35,7 +35,7 @@
 // `allow`. Every other configuration stays at `forbid`.
 #![cfg_attr(not(feature = "prof-alloc"), forbid(unsafe_code))]
 #![cfg_attr(feature = "prof-alloc", deny(unsafe_code))]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod hist;
 pub mod json;

@@ -148,6 +148,21 @@ pub const SPAN_RUNNER_ARRIVAL_LOOP: &str = "runner.arrival_loop";
 /// in-loop drain is accounted under [`SPAN_RUNNER_ARRIVAL_LOOP`]).
 pub const SPAN_RUNNER_DRAIN: &str = "runner.drain";
 
+/// Span: settling the interval's bill through the event-driven
+/// billing ledger (`spotweb-market`'s `BillingLedger`) — O(live +
+/// died) per interval, replacing the old all-backends scan.
+pub const SPAN_RUNNER_BILLING: &str = "runner.billing";
+
+/// Span: the end-of-interval monitor/telemetry rollup — reading the
+/// O(1) monitor rates and emitting the interval summary. Measures the
+/// tick itself, not instrumentation overhead (no window clone).
+pub const SPAN_RUNNER_ROLLUP: &str = "runner.rollup";
+
+/// Span: compacting a permanently dead backend out of the balancer and
+/// the service array (`LoadBalancer::retire` + slot release) at the
+/// control timepoint where its death fires.
+pub const SPAN_RUNNER_COMPACT: &str = "runner.compact";
+
 /// Span: one sweep worker thread's lifetime in
 /// `sim::sweep::parallel_map` (count per profile = workers spawned).
 pub const SPAN_SWEEP_WORKER: &str = "sweep.worker";

@@ -1,7 +1,7 @@
 //! Opt-in counting global allocator (feature `prof-alloc`).
 //!
 //! When the feature is enabled, a binary can register
-//! [`CountingAlloc`] as its `#[global_allocator]`; every allocation
+//! `CountingAlloc` as its `#[global_allocator]`; every allocation
 //! then ticks four process-global counters — live bytes, peak live
 //! bytes, cumulative allocated bytes, and allocation calls — which the
 //! span profiler samples at scope entry/exit to attribute heap traffic
@@ -38,7 +38,7 @@ pub struct AllocStats {
 
 /// True when the crate was built with the `prof-alloc` feature, i.e.
 /// when [`stats`] can return non-zero figures (provided the binary
-/// registered [`CountingAlloc`]).
+/// registered `CountingAlloc`).
 pub const fn is_enabled() -> bool {
     cfg!(feature = "prof-alloc")
 }

@@ -3,7 +3,7 @@
 //!
 //! A profiling *session* is started with [`begin`] and ended with
 //! [`Session::finish`], which returns the collected
-//! [`Profile`](crate::prof::report::Profile). While a session is
+//! [`crate::prof::report::Profile`]. While a session is
 //! active, every [`scope!`](crate::prof_scope) guard records into a
 //! tree local to its thread; a thread's tree is flushed into the
 //! session when the thread exits, when it calls [`flush_thread`]

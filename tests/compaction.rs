@@ -1,0 +1,129 @@
+//! Runner-level edge-case tests for backend compaction (ISSUE 8).
+//!
+//! The balancer-level twin tests (`spotweb-lb`) prove `retire` is
+//! byte-invisible to routing; these tests drive the *full stack*
+//! through the scenarios where compaction could plausibly go wrong:
+//! a revocation whose death fires while the drain is still migrating
+//! sessions, and a storm that forces the policy to re-enter markets
+//! whose previous servers were retired (fresh backend ids — reuse is
+//! structurally impossible, and the billing ledger / restore paths
+//! panic if it ever happened).
+
+use spotweb::market::{Catalog, CloudSim};
+use spotweb::sim::runner::ReactiveCheapestPolicy;
+use spotweb::sim::{run_full_stack, FaultKind, FaultPlan, RunnerConfig, RunnerReport};
+use spotweb::workload::Trace;
+
+/// Replay a short full-stack run at 300 rps with `plan` injected.
+fn run_with_plan(seed: u64, plan: FaultPlan) -> RunnerReport {
+    let catalog = Catalog::fig4_testbed();
+    let config = RunnerConfig {
+        interval_secs: 60.0,
+        intervals: 10,
+        seed,
+        faults: Some(plan),
+        ..RunnerConfig::default()
+    };
+    let mut cloud = CloudSim::new(catalog.clone(), seed, 100);
+    cloud.warm_up(8);
+    let rps = 300.0;
+    let trace = Trace::new(config.interval_secs, vec![rps; config.intervals + 2]);
+    let mut policy = ReactiveCheapestPolicy {
+        headroom: 1.3,
+        capacities: catalog.markets().iter().map(|m| m.capacity_rps()).collect(),
+    };
+    run_full_stack(&mut policy, &mut cloud, &trace, &config)
+}
+
+/// Every market revoked mid-run with a 5-second warning: far too short
+/// to finish the in-flight work, so the deaths fire while sessions are
+/// still being migrated off the draining servers. Each dead backend is
+/// compacted (retired) at its death timepoint — with late completions
+/// still arriving for it — and the run must stay invariant-clean.
+fn mid_drain_storm() -> FaultPlan {
+    let markets: Vec<usize> = (0..Catalog::fig4_testbed().len()).collect();
+    FaultPlan::new().at(
+        130.0,
+        FaultKind::CorrelatedRevocation {
+            markets,
+            warning_secs: Some(5.0),
+        },
+    )
+}
+
+#[test]
+fn revocation_mid_drain_retires_cleanly() {
+    let report = run_with_plan(1234, mid_drain_storm());
+    assert!(
+        report.invariant_violations.is_empty(),
+        "retiring mid-drain backends must not break routing invariants: {:?}",
+        report.invariant_violations
+    );
+    assert!(report.faults_fired >= 1, "the storm must fire");
+    assert!(
+        report.revocations > 0,
+        "the storm must actually revoke servers"
+    );
+    assert!(
+        report.migrated_sessions > 0,
+        "a warned revocation must migrate sessions before the death fires"
+    );
+    // Late completions from retired backends are dropped work, not
+    // lost accounting: every generated request is either served or
+    // counted dropped.
+    assert!(report.served > 0);
+    assert!(
+        report.drop_fraction < 0.25,
+        "compaction must not turn a survivable storm into a collapse: {:.1}%",
+        100.0 * report.drop_fraction
+    );
+}
+
+/// Determinism across the retirement path: two identical runs through
+/// the mid-drain storm produce bit-identical simulated results (the
+/// compaction bookkeeping has no hidden order-dependence).
+#[test]
+fn retirement_path_is_deterministic() {
+    let a = run_with_plan(7, mid_drain_storm());
+    let b = run_with_plan(7, mid_drain_storm());
+    assert_eq!(a.served, b.served);
+    assert_eq!(a.dropped, b.dropped);
+    assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    assert_eq!(a.p99.to_bits(), b.p99.to_bits());
+    assert_eq!(a.migrated_sessions, b.migrated_sessions);
+    assert_eq!(a.fleet_sizes, b.fleet_sizes);
+}
+
+/// After the storm retires every server, the reactive policy re-buys
+/// in the same markets: the markets *re-enter* the portfolio with
+/// fresh backend ids. If a retired id were ever reused, the balancer's
+/// restore assertion and the billing ledger's duplicate-add panic
+/// would abort the run — so a clean, recovered run is the proof that
+/// re-entry allocates new identities and bills them from scratch.
+#[test]
+fn retired_market_reenters_with_fresh_backends() {
+    for seed in [1234u64, 7, 99] {
+        let report = run_with_plan(seed, mid_drain_storm());
+        assert!(
+            report.invariant_violations.is_empty(),
+            "seed {seed}: {:?}",
+            report.invariant_violations
+        );
+        // The storm revoked *every* market, so any server alive at
+        // the end of the run was provisioned after it — in a market
+        // whose previous occupants were retired.
+        let recovered = *report.fleet_sizes.last().expect("fleet sizes");
+        assert!(
+            recovered > 0,
+            "seed {seed}: fleet must be rebuilt after the storm"
+        );
+        assert!(
+            report.revocations > 0,
+            "seed {seed}: the storm must have retired the original fleet"
+        );
+        assert!(
+            report.cost > 0.0,
+            "seed {seed}: replacements in re-entered markets must be billed"
+        );
+    }
+}
