@@ -4,7 +4,7 @@
 //! figures <command> [--seed N] [--intervals N] [--workload wikipedia|vod]
 //!         [--scenario NAME] [--policy NAME] [--summary] [--out DIR]
 //!         [--jobs J] [--full] [--alloc] [--hours N] [--mem-gate]
-//!         [--spans-golden]
+//!         [--spans-golden] [--init] [--note TEXT] [FIXTURE...]
 //!
 //! commands:
 //!   fig3        workload traces (Fig. 3a/3b)
@@ -66,8 +66,15 @@
 //!               workspace; with --out DIR also writes the byte-stable
 //!               lint_report.json. Non-zero exit on unsuppressed
 //!               findings (same engine as `cargo run -p spotweb-lint`)
+//!   bless       audited golden regeneration: `bless --init` imports
+//!               every untracked tests/golden/ fixture into
+//!               MANIFEST.json at epoch 1; `bless <fixture...>`
+//!               regenerates the named fixtures in-process, bumps each
+//!               epoch, and appends the old→new digest pair to the
+//!               manifest history (--note records why). Refuses to run
+//!               while any *other* fixture disagrees with the manifest
 //!   all         everything above (except trace/report/sweep/
-//!               tournament/perf/lint)
+//!               tournament/perf/lint/bless)
 //! ```
 //!
 //! `--jobs` is accepted by every subcommand so wrapper scripts can
@@ -122,6 +129,12 @@ struct Args {
     /// document (short runner phase span structure) instead of
     /// running the full harness.
     spans_golden: bool,
+    /// `bless` only: fixture names to regenerate (positional).
+    fixtures: Vec<String>,
+    /// `bless` only: bootstrap/extend the manifest from on-disk bytes.
+    init: bool,
+    /// `bless` only: history note recorded with each epoch bump.
+    note: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -142,6 +155,9 @@ fn parse_args() -> Result<Args, String> {
         hours: 24,
         mem_gate: false,
         spans_golden: false,
+        fixtures: Vec::new(),
+        init: false,
+        note: None,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -173,6 +189,10 @@ fn parse_args() -> Result<Args, String> {
                 out.policy = Some(args.next().ok_or("--policy needs a value")?);
             }
             "--summary" => out.summary = true,
+            "--init" => out.init = true,
+            "--note" => {
+                out.note = Some(args.next().ok_or("--note needs a value")?);
+            }
             "--full" => out.full = true,
             "--alloc" => out.alloc = true,
             "--mem-gate" => out.mem_gate = true,
@@ -200,7 +220,22 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--jobs must be at least 1".into());
                 }
             }
-            other => return Err(format!("unknown flag {other}")),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            fixture => out.fixtures.push(fixture.to_string()),
+        }
+    }
+    if out.command != "bless" {
+        if !out.fixtures.is_empty() {
+            return Err(format!(
+                "positional fixture names are only valid with `bless` (got {:?})",
+                out.fixtures
+            ));
+        }
+        if out.init {
+            return Err("--init is only valid with `bless`".to_string());
+        }
+        if out.note.is_some() {
+            return Err("--note is only valid with `bless`".to_string());
         }
     }
     Ok(out)
@@ -628,6 +663,23 @@ fn run(args: &Args) -> Result<(), String> {
                 ));
             }
         }
+        "bless" => {
+            use spotweb_bench::bless;
+            let cwd = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+            let root = spotweb_lint::find_workspace_root(&cwd)
+                .ok_or("no workspace Cargo.toml above the current directory")?;
+            let specs = bless::default_specs();
+            let log = bless::run_bless(
+                &root,
+                &specs,
+                &args.fixtures,
+                args.init,
+                args.note.as_deref().unwrap_or("blessed regeneration"),
+            )?;
+            // Human audit log on stderr (stdout stays reserved for
+            // byte-stable artifacts across the whole binary).
+            eprint!("{log}");
+        }
         "all" => {
             for cmd in [
                 "fig3",
@@ -657,6 +709,9 @@ fn run(args: &Args) -> Result<(), String> {
                     hours: 24,
                     mem_gate: false,
                     spans_golden: false,
+                    fixtures: Vec::new(),
+                    init: false,
+                    note: None,
                 };
                 eprintln!("=== {cmd} ===");
                 run(&sub)?;
@@ -671,7 +726,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|tournament|perf|profile|lint|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--policy NAME] [--summary] [--out DIR] [--jobs J] [--full] [--alloc] [--hours N] [--mem-gate] [--spans-golden]");
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|tournament|perf|profile|lint|bless|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--policy NAME] [--summary] [--out DIR] [--jobs J] [--full] [--alloc] [--hours N] [--mem-gate] [--spans-golden] [--init] [--note TEXT] [FIXTURE...]");
             return ExitCode::from(2);
         }
     };

@@ -20,11 +20,13 @@
 //! | [`tournament`] | `figures tournament` — policy-zoo leaderboard over the full grid + `BENCH_tournament.json` |
 //! | [`perf`] | `figures perf` — request-level simulator throughput record + `BENCH_runner.json` |
 //! | [`profile`] | `figures profile` — self-profiling span trees + `BENCH_profile.json` / `flamegraph.folded` |
+//! | [`bless`] | `figures bless` — audited golden regeneration against `tests/golden/MANIFEST.json` |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod bless;
 pub mod discussion;
 pub mod fig3;
 pub mod fig4;

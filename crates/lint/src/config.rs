@@ -31,6 +31,18 @@ pub struct LintConfig {
     /// span tree is golden-locked, so producers and the golden must
     /// not be able to fork a span name (ISSUE 7).
     pub span_crates: Vec<String>,
+    /// Crates whose non-test library code must not *reach* a
+    /// wall-clock or unseeded-RNG symbol through any call chain
+    /// (`determinism-taint`, cross-file). These are the crates whose
+    /// outputs are golden-locked: a single tainted call chain breaks
+    /// same-seed replay even when the offending token lives in
+    /// another crate (ISSUE 9).
+    pub taint_protected: Vec<String>,
+    /// Module-path prefixes that may combine golden-directory path
+    /// literals with filesystem writes (`golden-write-outside-bless`).
+    /// Everything else regenerates fixtures through `figures bless`,
+    /// which bumps epochs and records digests in the manifest.
+    pub golden_writers: Vec<String>,
 }
 
 impl LintConfig {
@@ -101,6 +113,20 @@ impl LintConfig {
                 "sim".to_string(),
                 "lb".to_string(),
                 "core".to_string(),
+            ],
+            taint_protected: vec![
+                // The deterministic engine: every byte-stable golden
+                // is a function of these crates plus the run seed.
+                "sim".to_string(),
+                "lb".to_string(),
+                "core".to_string(),
+                "market".to_string(),
+            ],
+            golden_writers: vec![
+                // The bless flow is the only production path allowed
+                // to rewrite golden fixtures (tests may write their
+                // own scratch copies).
+                "bench::bless".to_string(),
             ],
         }
     }

@@ -1,0 +1,455 @@
+//! Module-level call graph over lexed token streams.
+//!
+//! The cross-file rules (`determinism-taint`,
+//! `golden-write-outside-bless`) need to know whether a function can
+//! *reach* a symbol through any call chain, not just whether the
+//! symbol appears in its own file. This module builds that graph from
+//! the same token streams the per-file rules already use — no syntax
+//! tree, no type resolution.
+//!
+//! Resolution is deliberately **name-based and over-approximate**: a
+//! call site `foo(…)` links to *every* function named `foo` in the
+//! file set, and method calls link by bare method name. That direction
+//! of error is the safe one for a determinism analyzer — a chain the
+//! graph invents can be reviewed and allowlisted, a chain it misses
+//! would rot silently. Macros (`name!(…)`) are not calls, struct
+//! literals (`Name {…}`) are not calls, and `fn` pointer types
+//! (`fn(u32)`) are not definitions.
+//!
+//! Everything is deterministic: definitions are ordered by
+//! (file, token), edges are sorted and deduplicated, and reachability
+//! runs a breadth-first search whose queue order is fixed, so witness
+//! chains — and therefore report bytes — never depend on hash state.
+
+use crate::files::SourceFile;
+use crate::lexer::TokenKind;
+
+/// One `fn` definition found in the file set.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index into the file slice the graph was built from.
+    pub file: usize,
+    /// Bare function name (methods included, by name only).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range `[start, end]` of the body's braces in the
+    /// owning file, or `None` for bodyless declarations (trait
+    /// methods, extern blocks).
+    pub body: Option<(usize, usize)>,
+    /// Whether the definition sits inside `#[cfg(test)]` / `#[test]`
+    /// scope.
+    pub in_test: bool,
+}
+
+/// Reachability verdict for one definition (see
+/// [`CallGraph::reach_from`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reach {
+    /// No call chain to any source.
+    No,
+    /// The definition *is* one of the sources.
+    IsSource,
+    /// Reaches a source; the payload is the next definition on a
+    /// shortest witness chain.
+    Via(usize),
+}
+
+/// The call graph: definitions plus name-resolved call edges.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every function definition, ordered by (file, token position).
+    pub defs: Vec<FnDef>,
+    /// `calls[d]` = definitions that `d`'s body calls (sorted,
+    /// deduplicated, self-edges removed).
+    pub calls: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph for `files` (the same slice rules operate on;
+    /// definition `file` indices refer into it).
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut defs: Vec<FnDef> = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            collect_defs(fi, file, &mut defs);
+        }
+        // Name → definition indices, for call resolution.
+        let mut by_name: std::collections::BTreeMap<&str, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (d, def) in defs.iter().enumerate() {
+            by_name.entry(def.name.as_str()).or_default().push(d);
+        }
+
+        let mut calls: Vec<Vec<usize>> = vec![Vec::new(); defs.len()];
+        for (fi, file) in files.iter().enumerate() {
+            // Definitions of this file, for innermost-body attribution.
+            let local: Vec<usize> = (0..defs.len()).filter(|&d| defs[d].file == fi).collect();
+            for i in file.code_indices() {
+                if file.tokens[i].kind != TokenKind::Ident {
+                    continue;
+                }
+                // A call site is `name(` — macros are `name!(`, struct
+                // literals are `name {`, and a def's own header is
+                // `fn name(`.
+                if file.next_code(i).map(|j| file.text(j)) != Some("(") {
+                    continue;
+                }
+                if file.prev_code(i).map(|p| file.text(p)) == Some("fn") {
+                    continue;
+                }
+                let Some(caller) = innermost(&defs, &local, i) else {
+                    continue;
+                };
+                let Some(callees) = by_name.get(file.text(i)) else {
+                    continue;
+                };
+                for &callee in callees {
+                    if callee != caller {
+                        calls[caller].push(callee);
+                    }
+                }
+            }
+        }
+        for edges in &mut calls {
+            edges.sort_unstable();
+            edges.dedup();
+        }
+        CallGraph { defs, calls }
+    }
+
+    /// The innermost definition of `files[file]` whose body contains
+    /// token `tok`, if any.
+    pub fn def_containing(&self, file: usize, tok: usize) -> Option<usize> {
+        let local: Vec<usize> = (0..self.defs.len())
+            .filter(|&d| self.defs[d].file == file)
+            .collect();
+        innermost(&self.defs, &local, tok)
+    }
+
+    /// Reverse-BFS reachability: for every definition, whether it can
+    /// reach any of `sources` through call edges. `sources` must be
+    /// sorted definition indices; the BFS visits them in that order so
+    /// witness chains are deterministic and shortest-first.
+    pub fn reach_from(&self, sources: &[usize]) -> Vec<Reach> {
+        let mut reach = vec![Reach::No; self.defs.len()];
+        // Reverse adjacency: callee → callers.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.defs.len()];
+        for (caller, callees) in self.calls.iter().enumerate() {
+            for &callee in callees {
+                rev[callee].push(caller);
+            }
+        }
+        for callers in &mut rev {
+            callers.sort_unstable();
+            callers.dedup();
+        }
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &s in sources {
+            if reach[s] == Reach::No {
+                reach[s] = Reach::IsSource;
+                queue.push_back(s);
+            }
+        }
+        while let Some(d) = queue.pop_front() {
+            for &caller in &rev[d] {
+                if reach[caller] == Reach::No {
+                    reach[caller] = Reach::Via(d);
+                    queue.push_back(caller);
+                }
+            }
+        }
+        reach
+    }
+
+    /// Witness chain for a definition that reaches a source: its own
+    /// index followed by each hop down to (and including) the source.
+    pub fn chain(&self, mut d: usize, reach: &[Reach]) -> Vec<usize> {
+        let mut out = vec![d];
+        while let Reach::Via(next) = reach[d] {
+            out.push(next);
+            d = next;
+        }
+        out
+    }
+
+    /// Render a witness chain as `a -> b -> c` using definition names.
+    pub fn chain_names(&self, chain: &[usize]) -> String {
+        chain
+            .iter()
+            .map(|&d| self.defs[d].name.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Innermost definition among `candidates` whose body contains token
+/// index `tok` (smallest enclosing body wins, so nested `fn`s shadow
+/// their parent).
+fn innermost(defs: &[FnDef], candidates: &[usize], tok: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (span, def)
+    for &d in candidates {
+        if let Some((start, end)) = defs[d].body {
+            if start <= tok && tok <= end {
+                let span = end - start;
+                if best.is_none_or(|(s, _)| span < s) {
+                    best = Some((span, d));
+                }
+            }
+        }
+    }
+    best.map(|(_, d)| d)
+}
+
+/// Scan one file for `fn` definitions and append them to `defs`.
+fn collect_defs(fi: usize, file: &SourceFile, defs: &mut Vec<FnDef>) {
+    let code: Vec<usize> = file.code_indices().collect();
+    let mut p = 0usize;
+    while p < code.len() {
+        let i = code[p];
+        if file.text(i) != "fn" {
+            p += 1;
+            continue;
+        }
+        // `fn` pointer types (`fn(u32) -> u32`) have no name ident.
+        let Some(&name_i) = code.get(p + 1) else {
+            break;
+        };
+        if file.tokens[name_i].kind != TokenKind::Ident {
+            p += 1;
+            continue;
+        }
+        let name = file.text(name_i).to_string();
+        let line = file.tokens[i].line;
+        let in_test = file.in_test[name_i];
+        // Find the body: the first `{` at paren/bracket depth 0 after
+        // the name opens it; a `;` at depth 0 first means a bodyless
+        // declaration. Generic angle brackets are not tracked — a `{`
+        // inside a const-generic expression would start the body
+        // early, which only widens the body span (safe direction).
+        let mut q = p + 2;
+        let mut depth = 0i32;
+        let mut body = None;
+        while q < code.len() {
+            match file.text(code[q]) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" if depth <= 0 => break,
+                "{" if depth <= 0 => {
+                    body = Some(match_braces(file, &code, q));
+                    break;
+                }
+                _ => {}
+            }
+            q += 1;
+        }
+        match body {
+            Some((open, close, resume)) => {
+                defs.push(FnDef {
+                    file: fi,
+                    name,
+                    line,
+                    body: Some((code[open], code[close])),
+                    in_test,
+                });
+                // Resume *inside* the body so nested `fn`s are found.
+                p = resume;
+            }
+            None => {
+                defs.push(FnDef {
+                    file: fi,
+                    name,
+                    line,
+                    body: None,
+                    in_test,
+                });
+                p = q;
+            }
+        }
+    }
+}
+
+/// Match the brace group opening at code index `open`; returns
+/// `(open, close, resume)` where `resume` is the first code index
+/// after the opening brace (so the caller can descend into the body).
+fn match_braces(file: &SourceFile, code: &[usize], open: usize) -> (usize, usize, usize) {
+    let mut depth = 0i32;
+    let mut q = open;
+    while q < code.len() {
+        match file.text(code[q]) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (open, q, open + 1);
+                }
+            }
+            _ => {}
+        }
+        q += 1;
+    }
+    (open, code.len() - 1, open + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::SourceFile;
+
+    fn graph(sources: &[(&str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile::from_source(p, s.to_string()))
+            .collect();
+        let g = CallGraph::build(&files);
+        (files, g)
+    }
+
+    fn def_idx(g: &CallGraph, name: &str) -> usize {
+        (0..g.defs.len())
+            .find(|&d| g.defs[d].name == name)
+            .unwrap_or_else(|| panic!("no def named {name}"))
+    }
+
+    #[test]
+    fn defs_and_direct_calls() {
+        let (_, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn top() { helper(1); }\nfn helper(x: u32) -> u32 { x }\n",
+        )]);
+        assert_eq!(g.defs.len(), 2);
+        let top = def_idx(&g, "top");
+        let helper = def_idx(&g, "helper");
+        assert_eq!(g.calls[top], vec![helper]);
+        assert!(g.calls[helper].is_empty());
+    }
+
+    #[test]
+    fn cross_file_resolution_by_name() {
+        let (_, g) = graph(&[
+            ("crates/a/src/lib.rs", "pub fn caller() { shared(); }\n"),
+            ("crates/b/src/lib.rs", "pub fn shared() {}\n"),
+        ]);
+        let caller = def_idx(&g, "caller");
+        let shared = def_idx(&g, "shared");
+        assert_eq!(g.calls[caller], vec![shared]);
+    }
+
+    #[test]
+    fn macros_struct_literals_and_fn_types_are_not_calls() {
+        let (_, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn target() {}\n\
+             pub fn user(cb: fn(u32)) {\n\
+                 println!(\"target\");\n\
+                 let _s = Config { target: 1 };\n\
+                 let _p: fn() = target;\n\
+             }\n",
+        )]);
+        let user = def_idx(&g, "user");
+        assert!(
+            g.calls[user].is_empty(),
+            "macro/struct/pointer mentions must not create edges"
+        );
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body() {
+        let (_, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub trait T {\n    fn decl(&self) -> u32;\n    fn with_default(&self) -> u32 { self.decl() }\n}\n",
+        )]);
+        let decl = def_idx(&g, "decl");
+        let dflt = def_idx(&g, "with_default");
+        assert!(g.defs[decl].body.is_none());
+        assert_eq!(g.calls[dflt], vec![decl]);
+    }
+
+    #[test]
+    fn nested_fns_attribute_to_innermost() {
+        let (_, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn outer() {\n    fn inner() { leaf(); }\n    inner();\n}\npub fn leaf() {}\n",
+        )]);
+        let outer = def_idx(&g, "outer");
+        let inner = def_idx(&g, "inner");
+        let leaf = def_idx(&g, "leaf");
+        assert_eq!(g.calls[inner], vec![leaf]);
+        assert_eq!(g.calls[outer], vec![inner], "outer calls inner, not leaf");
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments_do_not_fake_defs() {
+        // Regression guards for the lexer-fed builder: a `fn` inside a
+        // raw string or nested block comment is not a definition, and
+        // definitions after them keep correct lines.
+        let src = "pub fn real() {\n\
+                   \x20   let _s = r##\"fn fake() { wall() }\"##;\n\
+                   }\n\
+                   /* outer /* fn nested_fake() {} */ tail */\n\
+                   pub fn after() { real(); }\n";
+        let (_, g) = graph(&[("crates/a/src/lib.rs", src)]);
+        let names: Vec<&str> = g.defs.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["real", "after"]);
+        assert_eq!(g.defs[1].line, 5);
+        let after = def_idx(&g, "after");
+        assert_eq!(g.calls[after], vec![def_idx(&g, "real")]);
+    }
+
+    #[test]
+    fn reachability_with_witness_chain() {
+        let (_, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn unrelated() {}\n",
+        )]);
+        let (a, b, c) = (def_idx(&g, "a"), def_idx(&g, "b"), def_idx(&g, "c"));
+        let reach = g.reach_from(&[c]);
+        assert_eq!(reach[c], Reach::IsSource);
+        assert_eq!(reach[b], Reach::Via(c));
+        assert_eq!(reach[a], Reach::Via(b));
+        assert_eq!(reach[def_idx(&g, "unrelated")], Reach::No);
+        assert_eq!(g.chain_names(&g.chain(a, &reach)), "a -> b -> c");
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let (_, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn ping() { pong(); }\npub fn pong() { ping(); sink(); }\nfn sink() {}\n",
+        )]);
+        let sink = def_idx(&g, "sink");
+        let reach = g.reach_from(&[sink]);
+        assert!(matches!(reach[def_idx(&g, "ping")], Reach::Via(_)));
+        assert!(matches!(reach[def_idx(&g, "pong")], Reach::Via(_)));
+    }
+
+    #[test]
+    fn test_scope_flag_is_carried() {
+        let (_, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn lib_fn() {}\n#[cfg(test)]\nmod t {\n    fn test_helper() {}\n}\n",
+        )]);
+        assert!(!g.defs[def_idx(&g, "lib_fn")].in_test);
+        assert!(g.defs[def_idx(&g, "test_helper")].in_test);
+    }
+
+    #[test]
+    fn determinism_across_builds() {
+        let src = &[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn a() { b(); c(); }\nfn c() {}\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn b() { c(); }\nfn c() {}\n"),
+        ];
+        let (_, g1) = graph(src);
+        let (_, g2) = graph(src);
+        let shape = |g: &CallGraph| {
+            g.defs
+                .iter()
+                .zip(&g.calls)
+                .map(|(d, e)| format!("{}:{}:{:?}", d.name, d.line, e))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&g1), shape(&g2));
+    }
+}

@@ -28,7 +28,11 @@
 //! quarantine and renderer registries in [`config::LintConfig::spotweb`].
 //! Suppressions use an in-source pragma that the tool counts and
 //! reports (see [`rules`]); run the binary with `--list-allows` to
-//! audit the full suppression surface.
+//! audit the full suppression surface. Since ISSUE 9 the engine is
+//! also cross-file: a module-level call graph ([`graph`]) backs the
+//! `determinism-taint` and `golden-write-outside-bless` rules, and the
+//! golden fixture manifest ([`manifest`]) is checked for consistency
+//! on every run.
 //!
 //! ```
 //! use spotweb_lint::{files::SourceFile, config::LintConfig, rules::lint_files};
@@ -38,8 +42,10 @@
 //!     "fn f() { let t = std::time::Instant::now(); }".to_string(),
 //! );
 //! let report = lint_files(&LintConfig::spotweb(), &[file]);
-//! assert_eq!(report.findings.len(), 1);
-//! assert_eq!(report.findings[0].rule, "wall-clock-quarantine");
+//! // `core` is a taint-protected crate, so the unsanctioned Instant
+//! // trips both the per-file rule and the cross-file taint rule.
+//! let rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+//! assert_eq!(rules, ["determinism-taint", "wall-clock-quarantine"]);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,7 +53,9 @@
 
 pub mod config;
 pub mod files;
+pub mod graph;
 pub mod lexer;
+pub mod manifest;
 pub mod report;
 pub mod rules;
 
@@ -56,11 +64,18 @@ use std::path::Path;
 pub use config::LintConfig;
 pub use report::Report;
 
-/// Scan `.rs` files under `root` and lint them with `cfg`. The
-/// workspace's own configuration is [`LintConfig::spotweb`].
+/// Scan `.rs` files under `root` and lint them with `cfg`, including
+/// the golden-manifest consistency checks when `root` has a
+/// `tests/golden/` directory. The workspace's own configuration is
+/// [`LintConfig::spotweb`].
 pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Report> {
     let files = files::scan_workspace(root)?;
-    Ok(rules::lint_files(cfg, &files))
+    let manifest_input = manifest::load_input(root)?;
+    Ok(rules::lint_files_with_manifest(
+        cfg,
+        &files,
+        manifest_input.as_ref(),
+    ))
 }
 
 /// Walk upward from `start` to the nearest directory whose

@@ -1,0 +1,848 @@
+//! The golden fixture manifest: `tests/golden/MANIFEST.json`.
+//!
+//! Every byte-stable golden fixture is tracked by a manifest entry
+//! carrying its **epoch** (bumped on every deliberate regeneration),
+//! the FNV-1a 64 digest of its current bytes, the command that
+//! produces it, and the full old→new digest history. Regeneration is
+//! an audited event: `figures bless <fixture…>` (see `bench::bless`)
+//! rewrites the fixture, bumps the epoch, and appends to the history;
+//! a golden whose on-disk digest disagrees with its manifest entry is
+//! a hard `manifest-consistency` finding.
+//!
+//! Like the rest of the analyzer this module is dependency-free: it
+//! hand-rolls a small JSON reader and a byte-stable writer
+//! (`parse` ∘ `render` is the identity on rendered manifests).
+
+use std::io;
+use std::path::Path;
+
+use crate::report::Finding;
+
+/// Manifest schema identifier (first line of the document).
+pub const SCHEMA: &str = "spotweb-golden-manifest/1";
+
+/// Golden directory, relative to the workspace root.
+pub const GOLDEN_DIR: &str = "tests/golden";
+
+/// Manifest file name inside [`GOLDEN_DIR`].
+pub const MANIFEST_NAME: &str = "MANIFEST.json";
+
+/// The command that records a deliberate golden change.
+pub const BLESS_CMD: &str = "cargo run --release -p spotweb-bench --bin figures -- bless";
+
+/// One recorded regeneration of a fixture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryEntry {
+    /// Epoch this regeneration established.
+    pub epoch: u64,
+    /// Digest before the regeneration (`-` for the initial import).
+    pub old: String,
+    /// Digest after the regeneration.
+    pub new: String,
+    /// Why the fixture changed.
+    pub note: String,
+}
+
+/// One tracked golden fixture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixtureEntry {
+    /// File name inside `tests/golden/`.
+    pub name: String,
+    /// Current epoch (1 = initial import).
+    pub epoch: u64,
+    /// FNV-1a 64 digest of the fixture's current bytes.
+    pub digest: String,
+    /// Command that regenerates the fixture.
+    pub command: String,
+    /// Every recorded old→new transition, oldest first.
+    pub history: Vec<HistoryEntry>,
+}
+
+/// The parsed manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Tracked fixtures, sorted by name.
+    pub fixtures: Vec<FixtureEntry>,
+}
+
+impl Manifest {
+    /// Entry for `name`, if tracked.
+    pub fn entry(&self, name: &str) -> Option<&FixtureEntry> {
+        self.fixtures.iter().find(|f| f.name == name)
+    }
+
+    /// Mutable entry for `name`, if tracked.
+    pub fn entry_mut(&mut self, name: &str) -> Option<&mut FixtureEntry> {
+        self.fixtures.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Insert or replace an entry, keeping the list sorted by name.
+    pub fn upsert(&mut self, entry: FixtureEntry) {
+        match self.fixtures.iter_mut().find(|f| f.name == entry.name) {
+            Some(slot) => *slot = entry,
+            None => self.fixtures.push(entry),
+        }
+        self.fixtures.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// Render the byte-stable manifest document.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::new();
+        o.push_str("{\n");
+        let _ = writeln!(o, "  \"schema\": {},", json_str(SCHEMA));
+        o.push_str("  \"fixtures\": [");
+        for (k, f) in self.fixtures.iter().enumerate() {
+            o.push_str(if k == 0 { "\n" } else { ",\n" });
+            o.push_str("    {\n");
+            let _ = writeln!(o, "      \"name\": {},", json_str(&f.name));
+            let _ = writeln!(o, "      \"epoch\": {},", f.epoch);
+            let _ = writeln!(o, "      \"digest\": {},", json_str(&f.digest));
+            let _ = writeln!(o, "      \"command\": {},", json_str(&f.command));
+            o.push_str("      \"history\": [");
+            for (h, e) in f.history.iter().enumerate() {
+                o.push_str(if h == 0 { "\n" } else { ",\n" });
+                let _ = write!(
+                    o,
+                    "        {{\"epoch\": {}, \"old\": {}, \"new\": {}, \"note\": {}}}",
+                    e.epoch,
+                    json_str(&e.old),
+                    json_str(&e.new),
+                    json_str(&e.note)
+                );
+            }
+            o.push_str(if f.history.is_empty() {
+                "]\n"
+            } else {
+                "\n      ]\n"
+            });
+            o.push_str("    }");
+        }
+        o.push_str(if self.fixtures.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        o.push_str("}\n");
+        o
+    }
+
+    /// Parse a manifest document, validating schema and shape.
+    pub fn parse(text: &str) -> Result<Manifest, String> {
+        let root = parse_json(text)?;
+        let obj = root.as_obj().ok_or("manifest root must be an object")?;
+        let schema = get(obj, "schema")
+            .and_then(Json::as_str)
+            .ok_or("manifest is missing the \"schema\" string")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported manifest schema {schema:?} (expected {SCHEMA:?})"
+            ));
+        }
+        let fixtures = get(obj, "fixtures")
+            .and_then(Json::as_arr)
+            .ok_or("manifest is missing the \"fixtures\" array")?;
+        let mut out = Manifest::default();
+        for (k, f) in fixtures.iter().enumerate() {
+            let fo = f
+                .as_obj()
+                .ok_or_else(|| format!("fixtures[{k}] is not an object"))?;
+            let str_field = |key: &str| -> Result<String, String> {
+                get(fo, key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("fixtures[{k}] is missing the {key:?} string"))
+            };
+            let epoch = get(fo, "epoch")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("fixtures[{k}] is missing the \"epoch\" integer"))?;
+            let mut history = Vec::new();
+            let hist = get(fo, "history")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("fixtures[{k}] is missing the \"history\" array"))?;
+            for (h, e) in hist.iter().enumerate() {
+                let eo = e
+                    .as_obj()
+                    .ok_or_else(|| format!("fixtures[{k}].history[{h}] is not an object"))?;
+                let hstr = |key: &str| -> Result<String, String> {
+                    get(eo, key)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| {
+                            format!("fixtures[{k}].history[{h}] is missing the {key:?} string")
+                        })
+                };
+                history.push(HistoryEntry {
+                    epoch: get(eo, "epoch").and_then(Json::as_u64).ok_or_else(|| {
+                        format!("fixtures[{k}].history[{h}] is missing the \"epoch\" integer")
+                    })?,
+                    old: hstr("old")?,
+                    new: hstr("new")?,
+                    note: hstr("note")?,
+                });
+            }
+            out.fixtures.push(FixtureEntry {
+                name: str_field("name")?,
+                epoch,
+                digest: str_field("digest")?,
+                command: str_field("command")?,
+                history,
+            });
+        }
+        out.fixtures.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+}
+
+/// FNV-1a 64 digest of raw bytes, rendered as 16 lowercase hex digits
+/// — the same construction `sim::sweep::digest` uses for run
+/// summaries, applied here to fixture files.
+pub fn fnv64(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Everything the `manifest-consistency` rule needs, detached from the
+/// filesystem so the rule is unit-testable: the manifest text (or
+/// `None` when fixtures exist but no manifest does) and the on-disk
+/// fixture bytes, sorted by name.
+#[derive(Debug, Clone)]
+pub struct ManifestInput {
+    /// Contents of `MANIFEST.json`, if present.
+    pub manifest_text: Option<String>,
+    /// `(file name, bytes)` for every file in the golden directory
+    /// except the manifest itself, sorted by name.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+/// Load the [`ManifestInput`] for a workspace root, or `None` when the
+/// root has no `tests/golden/` directory at all.
+pub fn load_input(root: &Path) -> io::Result<Option<ManifestInput>> {
+    let dir = root.join(GOLDEN_DIR);
+    if !dir.is_dir() {
+        return Ok(None);
+    }
+    let mut files = Vec::new();
+    for entry in std::fs::read_dir(&dir)? {
+        let entry = entry?;
+        if !entry.path().is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == MANIFEST_NAME {
+            continue;
+        }
+        files.push((name, std::fs::read(entry.path())?));
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let manifest_text = match std::fs::read_to_string(dir.join(MANIFEST_NAME)) {
+        Ok(text) => Some(text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e),
+    };
+    Ok(Some(ManifestInput {
+        manifest_text,
+        files,
+    }))
+}
+
+/// Run the `manifest-consistency` checks over an input. Every finding
+/// is hard (the rule is not allowlistable): mismatched digests, files
+/// missing on either side, a missing or malformed manifest, and
+/// internally inconsistent histories.
+pub fn check_input(input: &ManifestInput) -> Vec<Finding> {
+    let rule = "manifest-consistency".to_string();
+    let manifest_path = format!("{GOLDEN_DIR}/{MANIFEST_NAME}");
+    let mut out = Vec::new();
+    let Some(text) = &input.manifest_text else {
+        out.push(Finding {
+            rule,
+            file: manifest_path,
+            line: 1,
+            message: format!(
+                "{} golden fixture(s) present but no manifest; bootstrap it with `{BLESS_CMD} \
+                 --init` so every future regeneration is an audited epoch bump",
+                input.files.len()
+            ),
+        });
+        return out;
+    };
+    let manifest = match Manifest::parse(text) {
+        Ok(m) => m,
+        Err(e) => {
+            out.push(Finding {
+                rule,
+                file: manifest_path,
+                line: 1,
+                message: format!("manifest does not parse: {e}"),
+            });
+            return out;
+        }
+    };
+    for pair in manifest.fixtures.windows(2) {
+        if pair[0].name == pair[1].name {
+            out.push(Finding {
+                rule: rule.clone(),
+                file: manifest_path.clone(),
+                line: 1,
+                message: format!("duplicate manifest entry for {:?}", pair[0].name),
+            });
+        }
+    }
+    for entry in &manifest.fixtures {
+        let file_path = format!("{GOLDEN_DIR}/{}", entry.name);
+        let on_disk = input.files.iter().find(|(n, _)| *n == entry.name);
+        match on_disk {
+            None => out.push(Finding {
+                rule: rule.clone(),
+                file: file_path.clone(),
+                line: 1,
+                message: format!(
+                    "manifest lists {} at epoch {} but the fixture is missing on disk; \
+                     restore it or remove the entry with a blessed manifest edit",
+                    entry.name, entry.epoch
+                ),
+            }),
+            Some((_, bytes)) => {
+                let disk = fnv64(bytes);
+                if disk != entry.digest {
+                    out.push(Finding {
+                        rule: rule.clone(),
+                        file: file_path.clone(),
+                        line: 1,
+                        message: format!(
+                            "on-disk digest {disk} does not match manifest digest {} (epoch {}); \
+                             the golden changed without a bless — run `{BLESS_CMD} {}` to \
+                             regenerate it, bump the epoch, and record the old→new digest pair",
+                            entry.digest, entry.epoch, entry.name
+                        ),
+                    });
+                }
+            }
+        }
+        // History must be present, strictly increasing, and end at the
+        // entry's current state.
+        let consistent = match entry.history.last() {
+            None => false,
+            Some(last) => {
+                last.epoch == entry.epoch
+                    && last.new == entry.digest
+                    && entry
+                        .history
+                        .windows(2)
+                        .all(|w| w[0].epoch < w[1].epoch && w[0].new == w[1].old)
+            }
+        };
+        if !consistent {
+            out.push(Finding {
+                rule: rule.clone(),
+                file: file_path,
+                line: 1,
+                message: format!(
+                    "manifest history for {} is inconsistent: it must be a strictly \
+                     increasing epoch chain whose digests link old→new and end at \
+                     epoch {} / digest {}",
+                    entry.name, entry.epoch, entry.digest
+                ),
+            });
+        }
+    }
+    for (name, _) in &input.files {
+        if manifest.entry(name).is_none() {
+            out.push(Finding {
+                rule: rule.clone(),
+                file: format!("{GOLDEN_DIR}/{name}"),
+                line: 1,
+                message: format!(
+                    "fixture {name} is on disk but not in the manifest; import it with \
+                     `{BLESS_CMD} --init` (records the current bytes as epoch 1)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The CI diff check (`spotweb-lint --bless-check`): every fixture
+/// named in `changed` (golden files touched by a PR, manifest
+/// excluded) must have a manifest entry whose epoch is strictly
+/// greater than the merge base's — i.e. the change went through
+/// `figures bless`. Fixtures absent from the base manifest are new
+/// imports and pass as long as they are tracked now.
+pub fn check_epoch_bumps(current: &Manifest, base: &Manifest, changed: &[String]) -> Vec<Finding> {
+    let rule = "manifest-consistency".to_string();
+    let mut out = Vec::new();
+    for name in changed {
+        let file = format!("{GOLDEN_DIR}/{name}");
+        let Some(cur) = current.entry(name) else {
+            out.push(Finding {
+                rule: rule.clone(),
+                file,
+                line: 1,
+                message: format!(
+                    "{name} changed in this diff but has no manifest entry; run \
+                     `{BLESS_CMD} --init` (new fixture) or `{BLESS_CMD} {name}`"
+                ),
+            });
+            continue;
+        };
+        if let Some(old) = base.entry(name) {
+            if cur.epoch <= old.epoch {
+                out.push(Finding {
+                    rule: rule.clone(),
+                    file,
+                    line: 1,
+                    message: format!(
+                        "{name} changed in this diff but its manifest epoch did not bump \
+                         (still {}, base had {}); regenerate through `{BLESS_CMD} {name}` \
+                         so the old→new digest pair is recorded",
+                        cur.epoch, old.epoch
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (objects, arrays, strings, non-negative
+// integers, bool/null) — just enough for manifest documents.
+// ---------------------------------------------------------------------------
+
+/// Parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as f64; manifest epochs are small integers).
+    Num(f64),
+    /// String with escapes decoded.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let b = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_str(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null").map(|()| Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        _ => Err(format!("unexpected content at byte {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        // Surrogate pairs are not needed for manifest
+                        // content; map unpaired surrogates to U+FFFD.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8 passes through unchanged.
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                let ch = s.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        out.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+/// JSON string escaping (same policy as the report writer).
+fn json_str(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            fixtures: vec![
+                FixtureEntry {
+                    name: "a.json".to_string(),
+                    epoch: 2,
+                    digest: fnv64(b"v2\n"),
+                    command: "figures a > tests/golden/a.json".to_string(),
+                    history: vec![
+                        HistoryEntry {
+                            epoch: 1,
+                            old: "-".to_string(),
+                            new: fnv64(b"v1\n"),
+                            note: "initial import".to_string(),
+                        },
+                        HistoryEntry {
+                            epoch: 2,
+                            old: fnv64(b"v1\n"),
+                            new: fnv64(b"v2\n"),
+                            note: "deliberate change".to_string(),
+                        },
+                    ],
+                },
+                FixtureEntry {
+                    name: "b.jsonl".to_string(),
+                    epoch: 1,
+                    digest: fnv64(b"lines\n"),
+                    command: "figures b > tests/golden/b.jsonl".to_string(),
+                    history: vec![HistoryEntry {
+                        epoch: 1,
+                        old: "-".to_string(),
+                        new: fnv64(b"lines\n"),
+                        note: "initial import".to_string(),
+                    }],
+                },
+            ],
+        }
+    }
+
+    fn input(m: &Manifest, files: &[(&str, &[u8])]) -> ManifestInput {
+        ManifestInput {
+            manifest_text: Some(m.render()),
+            files: files
+                .iter()
+                .map(|(n, b)| (n.to_string(), b.to_vec()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fnv64_matches_known_vectors() {
+        // FNV-1a 64 reference values.
+        assert_eq!(fnv64(b""), "cbf29ce484222325");
+        assert_eq!(fnv64(b"a"), "af63dc4c8601ec8c");
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_identity() {
+        let m = sample();
+        let text = m.render();
+        let parsed = Manifest::parse(&text).expect("round trip parses");
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.render(), text, "render ∘ parse is byte-identical");
+    }
+
+    #[test]
+    fn consistent_input_is_clean() {
+        let m = sample();
+        let findings = check_input(&input(&m, &[("a.json", b"v2\n"), ("b.jsonl", b"lines\n")]));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn tampered_fixture_names_the_bless_command() {
+        let m = sample();
+        let findings = check_input(&input(
+            &m,
+            &[("a.json", b"hand-edited\n"), ("b.jsonl", b"lines\n")],
+        ));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "manifest-consistency");
+        assert_eq!(findings[0].file, "tests/golden/a.json");
+        assert!(findings[0].message.contains("figures -- bless a.json"));
+        assert!(findings[0].message.contains("without a bless"));
+    }
+
+    #[test]
+    fn missing_and_untracked_files_are_findings() {
+        let m = sample();
+        let findings = check_input(&input(
+            &m,
+            &[("b.jsonl", b"lines\n"), ("stray.json", b"{}\n")],
+        ));
+        let rules: Vec<(&str, &str)> = findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.rule.as_str()))
+            .collect();
+        assert!(rules.contains(&("tests/golden/a.json", "manifest-consistency")));
+        assert!(rules.contains(&("tests/golden/stray.json", "manifest-consistency")));
+    }
+
+    #[test]
+    fn absent_manifest_is_a_finding() {
+        let findings = check_input(&ManifestInput {
+            manifest_text: None,
+            files: vec![("a.json".to_string(), b"x".to_vec())],
+        });
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("--init"));
+    }
+
+    #[test]
+    fn broken_history_chain_is_a_finding() {
+        let mut m = sample();
+        if let Some(entry) = m.entry_mut("a.json") {
+            entry.history[1].old = "0000000000000000".to_string();
+        }
+        let findings = check_input(&input(&m, &[("a.json", b"v2\n"), ("b.jsonl", b"lines\n")]));
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("history"));
+    }
+
+    #[test]
+    fn malformed_manifest_is_a_finding() {
+        let findings = check_input(&ManifestInput {
+            manifest_text: Some("{\"schema\": \"wrong/9\", \"fixtures\": []}".to_string()),
+            files: vec![],
+        });
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("does not parse"));
+    }
+
+    #[test]
+    fn epoch_bump_check_flags_unbumped_changes() {
+        let base = sample();
+        // Same epochs as base: a changed fixture must fail.
+        let findings = check_epoch_bumps(&base, &base, &["a.json".to_string()]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("did not bump"));
+        assert!(findings[0].message.contains("figures -- bless a.json"));
+
+        // A blessed change (epoch 2 → 3) passes.
+        let mut cur = base.clone();
+        if let Some(entry) = cur.entry_mut("a.json") {
+            entry.epoch = 3;
+        }
+        assert!(check_epoch_bumps(&cur, &base, &["a.json".to_string()]).is_empty());
+
+        // New fixture: absent from base but tracked now → ok.
+        cur.upsert(FixtureEntry {
+            name: "new.json".to_string(),
+            epoch: 1,
+            digest: fnv64(b"new\n"),
+            command: "figures new > tests/golden/new.json".to_string(),
+            history: vec![HistoryEntry {
+                epoch: 1,
+                old: "-".to_string(),
+                new: fnv64(b"new\n"),
+                note: "initial import".to_string(),
+            }],
+        });
+        assert!(check_epoch_bumps(&cur, &base, &["new.json".to_string()]).is_empty());
+
+        // Changed but tracked nowhere → finding.
+        let findings = check_epoch_bumps(&cur, &base, &["untracked.json".to_string()]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no manifest entry"));
+    }
+
+    #[test]
+    fn json_reader_handles_escapes_and_nesting() {
+        let v = parse_json("{\"k\": [1, {\"s\": \"a\\n\\\"b\\\"\"}, true, null]}").expect("parses");
+        let Json::Obj(o) = v else {
+            panic!("not an object")
+        };
+        let Json::Arr(a) = &o[0].1 else {
+            panic!("not an array")
+        };
+        assert_eq!(a[0], Json::Num(1.0));
+        assert_eq!(a[2], Json::Bool(true));
+        let Json::Obj(inner) = &a[1] else {
+            panic!("not an object")
+        };
+        assert_eq!(inner[0].1, Json::Str("a\n\"b\"".to_string()));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_json("{} extra").is_err());
+        assert!(parse_json("[1,]").is_err());
+    }
+}

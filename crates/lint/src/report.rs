@@ -85,7 +85,7 @@ impl Report {
     pub fn to_json(&self) -> String {
         let mut o = String::new();
         o.push_str("{\n");
-        o.push_str("  \"schema\": \"spotweb-lint/1\",\n");
+        o.push_str("  \"schema\": \"spotweb-lint/2\",\n");
         let _ = writeln!(o, "  \"files_scanned\": {},", self.files_scanned);
         o.push_str("  \"summary\": {\n");
         let _ = writeln!(o, "    \"findings\": {},", self.findings.len());

@@ -1,5 +1,6 @@
-//! The rule engine: six checkable invariant rules, the allow-pragma
-//! grammar, and the driver that applies both to a file set.
+//! The rule engine: the checkable invariant rules (per-file and
+//! cross-file), the allow-pragma grammar, and the driver that applies
+//! both to a file set.
 //!
 //! Every rule is named and allowlistable. A violation is suppressed
 //! only by an in-source pragma on the same line (or, for a pragma on
@@ -16,7 +17,9 @@
 
 use crate::config::LintConfig;
 use crate::files::{module_matches, SourceFile, Target};
+use crate::graph::{CallGraph, Reach};
 use crate::lexer::TokenKind;
+use crate::manifest::{self, ManifestInput};
 use crate::report::{AllowRecord, Finding, Report, Suppressed};
 
 /// Rule catalog entry.
@@ -32,7 +35,7 @@ pub struct RuleInfo {
 }
 
 /// Catalog of every rule the analyzer knows, checkable and meta.
-pub const RULES: [RuleInfo; 9] = [
+pub const RULES: [RuleInfo; 13] = [
     RuleInfo {
         id: "wall-clock-quarantine",
         summary: "Instant/SystemTime only in registered quarantine modules (timings feed BENCH_* files, never byte-stable output)",
@@ -62,6 +65,26 @@ pub const RULES: [RuleInfo; 9] = [
         id: "telemetry-name-constants",
         summary: "metric names come from telemetry::names constants, not inline string literals; hot-path modules use interned Counter/Histogram handles instead of string-keyed count/observe",
         allowlistable: true,
+    },
+    RuleInfo {
+        id: "determinism-taint",
+        summary: "non-test code in protected crates (sim/lb/core/market) must not reach wall-clock or unseeded-RNG symbols through any call chain (cross-file; subsumes wall-clock-quarantine transitively)",
+        allowlistable: true,
+    },
+    RuleInfo {
+        id: "golden-write-outside-bless",
+        summary: "only registered bless modules and test code may combine golden-directory path literals with filesystem writes; fixtures regenerate through `figures bless`",
+        allowlistable: true,
+    },
+    RuleInfo {
+        id: "manifest-consistency",
+        summary: "every golden fixture's on-disk digest must match its MANIFEST.json entry (epoch, digest, old→new history); mismatches name the bless command",
+        allowlistable: false,
+    },
+    RuleInfo {
+        id: "stale-allow",
+        summary: "allow pragma no longer suppresses any finding or sanctions any taint source — delete it so the suppression surface cannot rot",
+        allowlistable: false,
     },
     RuleInfo {
         id: "allow-missing-reason",
@@ -565,89 +588,339 @@ fn bad_format_specs(literal: &str) -> Vec<String> {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-file rules. These run over the whole file set at once, using
+// the call graph built from the same token streams.
+// ---------------------------------------------------------------------------
+
+/// The golden-directory path fragment the `golden-write-outside-bless`
+/// rule looks for inside string literals. Kept as a module-level
+/// constant so the analyzer's own function bodies never contain the
+/// literal (the rule would otherwise flag the analyzer).
+const GOLDEN_PATH_FRAGMENT: &str = "tests/golden";
+
+/// Function-call names that look like filesystem writes. Name-based
+/// and over-approximate by design (see [`crate::graph`]): `write` also
+/// matches `io::Write::write`, which is the safe direction — a def
+/// only fires when it *additionally* mentions the golden directory.
+const WRITE_CALLS: [&str; 4] = ["write", "write_all", "create", "create_dir_all"];
+
+/// Mark every pragma targeting `line` that names one of `rules` as
+/// used, returning whether any did. Used for taint-source sanctioning:
+/// a pragma that quarantines a wall-clock token also stops the token
+/// from seeding the cross-file taint propagation.
+fn sanctioned_by_pragma(allows: &mut [AllowRecord], line: u32, rules: &[&str]) -> bool {
+    let mut hit = false;
+    for a in allows.iter_mut() {
+        if a.target_line == line && rules.iter().any(|r| a.rules.iter().any(|ar| ar == r)) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// `determinism-taint`: non-test code in protected crates must not
+/// reach a wall-clock or unseeded-RNG symbol through any call chain.
+///
+/// A *source* is a wall-clock/RNG token that nothing sanctions: not in
+/// a quarantined module, not suppressed by a pragma naming the
+/// per-file rule (or this one), not test code. Sources in protected
+/// crates fire directly at the token line — exactly where
+/// `wall-clock-quarantine` fires, so this rule subsumes it there — and
+/// every non-test function in a protected crate that *reaches* a
+/// source through the call graph fires at its definition line with a
+/// witness chain, which the per-file rule cannot see.
+fn rule_determinism_taint(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    cfg: &LintConfig,
+    allows_per_file: &mut [Vec<AllowRecord>],
+    out: &mut [Vec<Finding>],
+) {
+    // 1. Collect sources: token-level findings plus the defs that
+    //    contain them (the seeds of the reverse reachability pass).
+    let mut source_symbol: std::collections::BTreeMap<usize, String> =
+        std::collections::BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        if !matches!(file.target, Target::Lib | Target::Bin) {
+            continue;
+        }
+        let quarantined = cfg
+            .wall_clock_quarantine
+            .iter()
+            .any(|q| module_matches(&file.module_path, q));
+        for i in file.code_indices() {
+            let t = file.tokens[i];
+            if t.kind != TokenKind::Ident || file.in_test[i] {
+                continue;
+            }
+            let text = file.text(i);
+            let is_wall = WALL_CLOCK_IDENTS.contains(&text);
+            let is_rng = RNG_IDENTS.contains(&text);
+            if !is_wall && !is_rng {
+                continue;
+            }
+            if is_wall && quarantined {
+                continue;
+            }
+            let sanction: &[&str] = if is_wall {
+                &["wall-clock-quarantine", "determinism-taint"]
+            } else {
+                &["seeded-rng-only", "determinism-taint"]
+            };
+            if sanctioned_by_pragma(&mut allows_per_file[fi], t.line, sanction) {
+                continue;
+            }
+            if cfg.taint_protected.contains(&file.crate_name) {
+                out[fi].push(Finding {
+                    rule: "determinism-taint".to_string(),
+                    file: file.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{text}` is a determinism-taint source in protected crate `{}`; \
+                         golden-locked output is a function of these crates plus the run \
+                         seed, so derive the value from the sim clock or a seeded stream",
+                        file.crate_name
+                    ),
+                });
+            }
+            if let Some(d) = graph.def_containing(fi, i) {
+                source_symbol.entry(d).or_insert_with(|| text.to_string());
+            }
+        }
+    }
+
+    // 2. Propagate: any function that can reach a source is tainted.
+    let sources: Vec<usize> = source_symbol.keys().copied().collect();
+    let reach = graph.reach_from(&sources);
+    for (d, def) in graph.defs.iter().enumerate() {
+        // Direct sources already fired at the token line above.
+        if !matches!(reach[d], Reach::Via(_)) {
+            continue;
+        }
+        let file = &files[def.file];
+        if !cfg.taint_protected.contains(&file.crate_name)
+            || def.in_test
+            || !matches!(file.target, Target::Lib | Target::Bin)
+        {
+            continue;
+        }
+        let chain = graph.chain(d, &reach);
+        let src = chain.last().copied().unwrap_or(d);
+        let symbol = source_symbol.get(&src).map_or("?", String::as_str);
+        out[def.file].push(Finding {
+            rule: "determinism-taint".to_string(),
+            file: file.path.clone(),
+            line: def.line,
+            message: format!(
+                "fn `{}` in protected crate `{}` reaches determinism source `{symbol}` \
+                 through the call chain {}; no wall-clock/RNG token appears in this file, \
+                 so only cross-file analysis sees it — break the chain or quarantine the \
+                 callee",
+                def.name,
+                file.crate_name,
+                graph.chain_names(&chain)
+            ),
+        });
+    }
+}
+
+/// `golden-write-outside-bless`: a non-test function that mentions the
+/// golden directory in a string literal *and* reaches a
+/// filesystem-write call through the call graph must live in a
+/// registered bless module. Everything else regenerates fixtures
+/// through `figures bless`, which records the epoch bump.
+fn rule_golden_write(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    cfg: &LintConfig,
+    out: &mut [Vec<Finding>],
+) {
+    // Defs that issue a write-looking call directly.
+    let mut writer_defs: Vec<usize> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for i in file.code_indices() {
+            if file.tokens[i].kind != TokenKind::Ident || !WRITE_CALLS.contains(&file.text(i)) {
+                continue;
+            }
+            if file.next_code(i).map(|j| file.text(j)) != Some("(") {
+                continue;
+            }
+            if file.prev_code(i).map(|p| file.text(p)) == Some("fn") {
+                continue;
+            }
+            if let Some(d) = graph.def_containing(fi, i) {
+                writer_defs.push(d);
+            }
+        }
+    }
+    writer_defs.sort_unstable();
+    writer_defs.dedup();
+    let reach = graph.reach_from(&writer_defs);
+
+    for (fi, file) in files.iter().enumerate() {
+        if !matches!(file.target, Target::Lib | Target::Bin) {
+            continue;
+        }
+        if cfg
+            .golden_writers
+            .iter()
+            .any(|w| module_matches(&file.module_path, w))
+        {
+            continue;
+        }
+        for i in file.code_indices() {
+            let t = file.tokens[i];
+            if !t.kind.is_string() || file.in_test[i] {
+                continue;
+            }
+            if !file.text(i).contains(GOLDEN_PATH_FRAGMENT) {
+                continue;
+            }
+            let Some(d) = graph.def_containing(fi, i) else {
+                // Module-level consts (e.g. the manifest module's own
+                // path constants) are not write sites.
+                continue;
+            };
+            if graph.defs[d].in_test || reach[d] == Reach::No {
+                continue;
+            }
+            let chain = graph.chain(d, &reach);
+            out[fi].push(Finding {
+                rule: "golden-write-outside-bless".to_string(),
+                file: file.path.clone(),
+                line: t.line,
+                message: format!(
+                    "fn `{}` mentions a golden-directory path and reaches a filesystem \
+                     write ({}); only registered bless modules may rewrite fixtures — \
+                     route regeneration through `figures bless` so the epoch bump and \
+                     old→new digests are recorded in the manifest",
+                    graph.defs[d].name,
+                    graph.chain_names(&chain)
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
-/// Run every rule over `files`, apply allow pragmas, and return the
-/// canonicalized report.
+/// Collect one file's allow pragmas, pushing meta-findings
+/// (`malformed-pragma`, `unknown-rule`, `allow-missing-reason`) as
+/// they surface.
+fn collect_pragmas(file: &SourceFile, findings: &mut Vec<Finding>) -> Vec<AllowRecord> {
+    let mut allows: Vec<AllowRecord> = Vec::new();
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if !tok.kind.is_comment() {
+            continue;
+        }
+        // Doc comments never carry live pragmas — they quote
+        // pragma syntax when documenting it (this crate included).
+        let text = file.text(i);
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|d| text.starts_with(d))
+        {
+            continue;
+        }
+        match parse_pragma(text) {
+            None => {}
+            Some(Err(msg)) => findings.push(Finding {
+                rule: "malformed-pragma".to_string(),
+                file: file.path.clone(),
+                line: tok.line,
+                message: msg,
+            }),
+            Some(Ok(pragma)) => {
+                for r in &pragma.rules {
+                    if !is_allowlistable(r) {
+                        findings.push(Finding {
+                            rule: "unknown-rule".to_string(),
+                            file: file.path.clone(),
+                            line: tok.line,
+                            message: format!(
+                                "allow pragma names unknown rule `{r}` (see --rules for \
+                                 the catalog)"
+                            ),
+                        });
+                    }
+                }
+                if pragma.reason.is_none() {
+                    findings.push(Finding {
+                        rule: "allow-missing-reason".to_string(),
+                        file: file.path.clone(),
+                        line: tok.line,
+                        message: "allow pragma without `-- <reason>`: every suppression \
+                                  must say why it is safe"
+                            .to_string(),
+                    });
+                }
+                allows.push(AllowRecord {
+                    file: file.path.clone(),
+                    line: tok.line,
+                    target_line: pragma_target_line(file, i),
+                    rules: pragma.rules,
+                    reason: pragma.reason.unwrap_or_default(),
+                    used: false,
+                });
+            }
+        }
+    }
+    allows
+}
+
+/// Run every rule over `files` (no manifest input), apply allow
+/// pragmas, and return the canonicalized report.
 pub fn lint_files(cfg: &LintConfig, files: &[SourceFile]) -> Report {
+    lint_files_with_manifest(cfg, files, None)
+}
+
+/// Run every rule — per-file, cross-file, and (when `manifest` is
+/// given) the golden-manifest consistency checks — apply allow
+/// pragmas, and return the canonicalized report.
+pub fn lint_files_with_manifest(
+    cfg: &LintConfig,
+    files: &[SourceFile],
+    manifest: Option<&ManifestInput>,
+) -> Report {
     let mut report = Report {
         files_scanned: files.len(),
         ..Report::default()
     };
 
-    for file in files {
-        // 1. Collect pragmas (and their meta-findings).
-        let mut allows: Vec<AllowRecord> = Vec::new();
-        for (i, tok) in file.tokens.iter().enumerate() {
-            if !tok.kind.is_comment() {
-                continue;
-            }
-            // Doc comments never carry live pragmas — they quote
-            // pragma syntax when documenting it (this crate included).
-            let text = file.text(i);
-            if ["///", "//!", "/**", "/*!"]
-                .iter()
-                .any(|d| text.starts_with(d))
-            {
-                continue;
-            }
-            match parse_pragma(text) {
-                None => {}
-                Some(Err(msg)) => report.findings.push(Finding {
-                    rule: "malformed-pragma".to_string(),
-                    file: file.path.clone(),
-                    line: tok.line,
-                    message: msg,
-                }),
-                Some(Ok(pragma)) => {
-                    for r in &pragma.rules {
-                        if !is_allowlistable(r) {
-                            report.findings.push(Finding {
-                                rule: "unknown-rule".to_string(),
-                                file: file.path.clone(),
-                                line: tok.line,
-                                message: format!(
-                                    "allow pragma names unknown rule `{r}` (see --rules for \
-                                     the catalog)"
-                                ),
-                            });
-                        }
-                    }
-                    if pragma.reason.is_none() {
-                        report.findings.push(Finding {
-                            rule: "allow-missing-reason".to_string(),
-                            file: file.path.clone(),
-                            line: tok.line,
-                            message: "allow pragma without `-- <reason>`: every suppression \
-                                      must say why it is safe"
-                                .to_string(),
-                        });
-                    }
-                    allows.push(AllowRecord {
-                        file: file.path.clone(),
-                        line: tok.line,
-                        target_line: pragma_target_line(file, i),
-                        rules: pragma.rules,
-                        reason: pragma.reason.unwrap_or_default(),
-                        used: false,
-                    });
-                }
-            }
-        }
+    // 1. Pragmas first: the cross-file taint rule consults them when
+    //    deciding what counts as a sanctioned source.
+    let mut allows_per_file: Vec<Vec<AllowRecord>> = files
+        .iter()
+        .map(|file| collect_pragmas(file, &mut report.findings))
+        .collect();
 
-        // 2. Raw findings from every checkable rule.
-        let mut raw: Vec<Finding> = Vec::new();
-        rule_wall_clock(file, cfg, &mut raw);
-        rule_ordered_serialization(file, cfg, &mut raw);
-        rule_seeded_rng(file, cfg, &mut raw);
-        rule_no_unwrap(file, cfg, &mut raw);
-        rule_telemetry_names(file, cfg, &mut raw);
-        rule_float_display(file, cfg, &mut raw);
+    // 2. Per-file rules.
+    let mut raw_per_file: Vec<Vec<Finding>> = files
+        .iter()
+        .map(|file| {
+            let mut raw: Vec<Finding> = Vec::new();
+            rule_wall_clock(file, cfg, &mut raw);
+            rule_ordered_serialization(file, cfg, &mut raw);
+            rule_seeded_rng(file, cfg, &mut raw);
+            rule_no_unwrap(file, cfg, &mut raw);
+            rule_telemetry_names(file, cfg, &mut raw);
+            rule_float_display(file, cfg, &mut raw);
+            raw
+        })
+        .collect();
 
-        // 3. Apply allows line-by-line.
+    // 3. Cross-file rules over the call graph.
+    let graph = CallGraph::build(files);
+    rule_determinism_taint(files, &graph, cfg, &mut allows_per_file, &mut raw_per_file);
+    rule_golden_write(files, &graph, cfg, &mut raw_per_file);
+
+    // 4. Apply allows line-by-line, per file.
+    for (fi, raw) in raw_per_file.into_iter().enumerate() {
         for f in raw {
-            let hit = allows
+            let hit = allows_per_file[fi]
                 .iter_mut()
                 .find(|a| a.target_line == f.line && a.rules.contains(&f.rule));
             match hit {
@@ -663,7 +936,32 @@ pub fn lint_files(cfg: &LintConfig, files: &[SourceFile]) -> Report {
                 None => report.findings.push(f),
             }
         }
-        report.allows.append(&mut allows);
+    }
+
+    // 5. Stale allows: a pragma that neither suppressed a finding nor
+    //    sanctioned a taint source is drift and must go.
+    for allows in &mut allows_per_file {
+        for a in allows.iter() {
+            if !a.used {
+                report.findings.push(Finding {
+                    rule: "stale-allow".to_string(),
+                    file: a.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "allow({}) suppresses nothing — the violation it silenced is gone; \
+                         delete the pragma so the suppression surface tracks reality",
+                        a.rules.join(", ")
+                    ),
+                });
+            }
+        }
+        report.allows.append(allows);
+    }
+
+    // 6. Golden-manifest consistency (hard findings, never
+    //    allowlistable).
+    if let Some(input) = manifest {
+        report.findings.append(&mut manifest::check_input(input));
     }
 
     report.canonicalize();
@@ -682,6 +980,10 @@ mod tests {
             telemetry_crate: "telemetry".to_string(),
             hot_paths: vec!["app::hot".to_string()],
             span_crates: vec!["app".to_string()],
+            // Namespaces deliberately disjoint from "app" so the
+            // cross-file rules stay quiet in the per-file tests above.
+            taint_protected: vec!["det".to_string()],
+            golden_writers: vec!["det::blessed".to_string()],
         }
     }
 
@@ -953,7 +1255,8 @@ mod tests {
         );
         let mut rules = rules_of(&r);
         rules.sort_unstable();
-        assert_eq!(rules, ["malformed-pragma", "unknown-rule"]);
+        // The unknown-rule allow also suppresses nothing → stale-allow.
+        assert_eq!(rules, ["malformed-pragma", "stale-allow", "unknown-rule"]);
     }
 
     #[test]
@@ -962,7 +1265,8 @@ mod tests {
             "crates/app/src/lib.rs",
             "// spotweb-lint: allow(no-unwrap-in-lib) -- wrong rule\nuse std::time::Instant;\n",
         );
-        assert_eq!(rules_of(&r), ["wall-clock-quarantine"]);
+        // The mismatched pragma is itself flagged as stale.
+        assert_eq!(rules_of(&r), ["stale-allow", "wall-clock-quarantine"]);
         assert!(!r.allows[0].used);
     }
 
@@ -995,5 +1299,157 @@ mod tests {
         let r = lint_files(&cfg(), &[a, b]);
         assert_eq!(r.files_scanned, 2);
         assert!(r.is_clean());
+    }
+
+    // -- cross-file rules ---------------------------------------------------
+
+    fn lint_many(sources: &[(&str, &str)]) -> Report {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(p, s)| SourceFile::from_source(p, s.to_string()))
+            .collect();
+        lint_files(&cfg(), &files)
+    }
+
+    #[test]
+    fn taint_fires_at_source_tokens_in_protected_crates() {
+        // Same file:line as wall-clock-quarantine — the subsumption
+        // the per-file rule's retirement depends on.
+        let r = lint_many(&[(
+            "crates/det/src/lib.rs",
+            "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n",
+        )]);
+        let rules = rules_of(&r);
+        assert_eq!(
+            rules.iter().filter(|r| **r == "determinism-taint").count(),
+            2
+        );
+        let taint: Vec<u32> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "determinism-taint")
+            .map(|f| f.line)
+            .collect();
+        let wall: Vec<u32> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "wall-clock-quarantine")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(taint, wall, "token-level taint mirrors the per-file rule");
+    }
+
+    #[test]
+    fn taint_propagates_across_files_with_witness_chain() {
+        // No wall-clock token in decide.rs at all: only the call graph
+        // can see the taint.
+        let r = lint_many(&[
+            (
+                "crates/det/src/decide.rs",
+                "pub fn decide(load: u64) -> u64 { load + now_ms() }\n",
+            ),
+            (
+                "crates/other/src/clock.rs",
+                "pub fn now_ms() -> u64 { SystemTime::now_raw() }\n",
+            ),
+        ]);
+        let taint: Vec<&Finding> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "determinism-taint")
+            .collect();
+        assert_eq!(taint.len(), 1, "{:?}", r.findings);
+        assert_eq!(taint[0].file, "crates/det/src/decide.rs");
+        assert_eq!(taint[0].line, 1);
+        assert!(taint[0].message.contains("decide -> now_ms"));
+        assert!(taint[0].message.contains("SystemTime"));
+    }
+
+    #[test]
+    fn quarantined_and_pragma_sanctioned_sources_do_not_taint() {
+        let r = lint_many(&[
+            (
+                "crates/det/src/caller.rs",
+                "pub fn run() -> u64 { quarantined_time() + allowed_time() }\n",
+            ),
+            (
+                "crates/app/src/quarantined.rs",
+                "pub fn quarantined_time() -> u64 { Instant::stamp() }\n",
+            ),
+            (
+                "crates/app/src/timing.rs",
+                "pub fn allowed_time() -> u64 {\n    \
+                 // spotweb-lint: allow(wall-clock-quarantine) -- BENCH-only timing\n    \
+                 Instant::stamp()\n}\n",
+            ),
+        ]);
+        assert!(
+            !rules_of(&r).contains(&"determinism-taint"),
+            "{:?}",
+            r.findings
+        );
+        assert!(r.allows[0].used, "sanctioning counts as use");
+    }
+
+    #[test]
+    fn taint_finding_is_allowlistable_at_the_def_line() {
+        let r = lint_many(&[
+            (
+                "crates/det/src/decide.rs",
+                "// spotweb-lint: allow(determinism-taint) -- feeds BENCH output only\n\
+                 pub fn decide(load: u64) -> u64 { load + now_ms() }\n",
+            ),
+            (
+                "crates/other/src/clock.rs",
+                "pub fn now_ms() -> u64 { SystemTime::now_raw() }\n",
+            ),
+        ]);
+        assert!(
+            !rules_of(&r).contains(&"determinism-taint"),
+            "{:?}",
+            r.findings
+        );
+        assert_eq!(r.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn golden_write_needs_both_literal_and_write_reachability() {
+        let path = format!("{GOLDEN_PATH_FRAGMENT}/x.json");
+        // Mentions the path AND reaches fs::write two hops away.
+        let writer = format!(
+            "pub fn dump(b: &[u8]) {{ save(\"{path}\", b); }}\n\
+             fn save(p: &str, b: &[u8]) {{ raw(p, b); }}\n\
+             fn raw(p: &str, b: &[u8]) {{ std::fs::write(p, b).expect(\"io\"); }}\n"
+        );
+        let r = lint_many(&[("crates/app/src/export.rs", &writer)]);
+        let hits: Vec<&Finding> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == "golden-write-outside-bless")
+            .collect();
+        assert_eq!(hits.len(), 1, "{:?}", r.findings);
+        assert_eq!(hits[0].line, 1);
+        assert!(hits[0].message.contains("dump -> save -> raw"));
+
+        // The literal alone (a reader) is fine…
+        let reader =
+            format!("pub fn read() -> Vec<u8> {{ std::fs::read(\"{path}\").expect(\"io\") }}\n");
+        let r = lint_many(&[("crates/app/src/import.rs", &reader)]);
+        assert!(r.is_clean(), "{:?}", r.findings);
+
+        // …and so is a registered bless module doing the real thing.
+        let r = lint_many(&[("crates/det/src/blessed.rs", &writer)]);
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn manifest_input_threads_through_the_driver() {
+        let input = ManifestInput {
+            manifest_text: None,
+            files: vec![("a.json".to_string(), b"x".to_vec())],
+        };
+        let f = SourceFile::from_source("crates/app/src/lib.rs", "fn f() {}\n".to_string());
+        let r = lint_files_with_manifest(&cfg(), &[f], Some(&input));
+        assert_eq!(rules_of(&r), ["manifest-consistency"]);
     }
 }

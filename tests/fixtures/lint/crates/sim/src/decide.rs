@@ -1,0 +1,10 @@
+//! No wall-clock token appears in this file, so the per-file
+//! quarantine rule sees nothing — but `decide_scale` reaches the wall
+//! clock through `now_epoch_ms` (crates/lb/src/clock.rs), and the
+//! cross-file determinism-taint rule flags it with a witness chain.
+//! This is the transitive case the shallow rule provably misses.
+
+pub fn decide_scale(demand: f64) -> u64 {
+    let stamp = now_epoch_ms();
+    stamp.wrapping_add(demand as u64)
+}

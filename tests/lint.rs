@@ -2,9 +2,10 @@
 //! locked by goldens: the report over the real tree and over the
 //! fixture tree at `tests/fixtures/lint/` are both byte-stable.
 //!
-//! Regenerate after intentional changes with
-//! `cargo run -p spotweb-lint -- --json tests/golden/lint_report.json`
-//! (add `--root tests/fixtures/lint` for the fixture golden).
+//! Both reports are manifest-tracked goldens; regenerate intentional
+//! changes through the audited flow:
+//! `cargo run --release -p spotweb-bench --bin figures -- bless \
+//!  lint_fixture_report.json lint_report.json`.
 
 use std::path::Path;
 
@@ -21,6 +22,11 @@ fn golden(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
+fn fixture_report() -> spotweb_lint::Report {
+    let root = manifest_dir().join("tests/fixtures/lint");
+    lint_workspace(&root, &LintConfig::spotweb()).expect("fixture scan")
+}
+
 #[test]
 fn workspace_is_clean_and_report_matches_golden() {
     let report = lint_workspace(manifest_dir(), &LintConfig::spotweb()).expect("workspace scan");
@@ -34,14 +40,13 @@ fn workspace_is_clean_and_report_matches_golden() {
         golden("lint_report.json"),
         "workspace lint report drifted from tests/golden/lint_report.json; \
          if the change is intentional, regenerate with \
-         `cargo run -p spotweb-lint -- --json tests/golden/lint_report.json`"
+         `cargo run --release -p spotweb-bench --bin figures -- bless lint_report.json`"
     );
 }
 
 #[test]
 fn fixture_tree_report_matches_golden() {
-    let root = manifest_dir().join("tests/fixtures/lint");
-    let report = lint_workspace(&root, &LintConfig::spotweb()).expect("fixture scan");
+    let report = fixture_report();
     assert!(!report.is_clean(), "fixture tree must have findings");
     assert_eq!(
         report.to_json(),
@@ -60,7 +65,9 @@ fn report_is_deterministic_across_runs() {
 #[test]
 fn seeded_wall_clock_violation_in_core_is_caught() {
     // The acceptance probe from the issue: a stray `Instant::now()` in
-    // an unquarantined `core` module must produce a named finding.
+    // an unquarantined `core` module must produce a named finding —
+    // since ISSUE 9 both the per-file rule and the cross-file taint
+    // rule, which subsumes it in protected crates.
     let src = "use std::time::Instant;\npub fn t() -> Instant { Instant::now() }\n";
     let file = SourceFile::from_source("crates/core/src/seeded.rs", src.to_string());
     let report = lint_files(&LintConfig::spotweb(), &[file]);
@@ -69,9 +76,111 @@ fn seeded_wall_clock_violation_in_core_is_caught() {
         report
             .findings
             .iter()
-            .all(|f| f.rule == "wall-clock-quarantine"),
+            .all(|f| f.rule == "wall-clock-quarantine" || f.rule == "determinism-taint"),
         "unexpected rules: {}",
         report.render_human()
     );
-    assert!(report.findings.iter().any(|f| f.line == 2));
+    for rule in ["wall-clock-quarantine", "determinism-taint"] {
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == rule && f.line == 2),
+            "missing a {rule} finding at line 2:\n{}",
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn taint_subsumes_wall_clock_quarantine_on_the_fixture_tree() {
+    // Acceptance criterion: in protected crates, every per-file
+    // wall-clock finding has a determinism-taint finding at the same
+    // file:line — and the taint rule additionally catches at least one
+    // transitive case at a location where the per-file rule sees
+    // nothing at all.
+    let report = fixture_report();
+    let taint: Vec<(&str, u32)> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "determinism-taint")
+        .map(|f| (f.file.as_str(), f.line))
+        .collect();
+    for f in report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "wall-clock-quarantine")
+    {
+        assert!(
+            taint.contains(&(f.file.as_str(), f.line)),
+            "wall-clock finding at {}:{} has no matching determinism-taint finding",
+            f.file,
+            f.line
+        );
+    }
+    let transitive: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            f.rule == "determinism-taint"
+                && !report.findings.iter().any(|w| {
+                    w.rule == "wall-clock-quarantine" && w.file == f.file && w.line == f.line
+                })
+                && f.message.contains("call chain")
+        })
+        .collect();
+    assert!(
+        transitive
+            .iter()
+            .any(|f| f.file == "crates/sim/src/decide.rs"
+                && f.message.contains("decide_scale -> now_epoch_ms")),
+        "expected the decide_scale -> now_epoch_ms transitive case:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn tampered_golden_without_epoch_bump_is_a_manifest_finding() {
+    // Acceptance criterion: `tests/fixtures/lint/tests/golden/stale.json`
+    // differs from its manifest digest (epoch not bumped) — the
+    // manifest-consistency rule must fire and name the bless command.
+    let report = fixture_report();
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "manifest-consistency" && f.file == "tests/golden/stale.json")
+        .unwrap_or_else(|| {
+            panic!(
+                "no manifest-consistency finding for stale.json:\n{}",
+                report.render_human()
+            )
+        });
+    assert!(finding.message.contains("figures -- bless stale.json"));
+    assert!(finding.message.contains("without a bless"));
+    // The consistent sibling stays clean.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.file == "tests/golden/fresh.json"),
+        "fresh.json must not be flagged:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn golden_write_outside_bless_is_caught_on_the_fixture_tree() {
+    let report = fixture_report();
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "golden-write-outside-bless")
+        .unwrap_or_else(|| {
+            panic!(
+                "no golden-write-outside-bless finding:\n{}",
+                report.render_human()
+            )
+        });
+    assert_eq!(finding.file, "crates/sim/src/export.rs");
+    assert!(finding.message.contains("dump_debug_golden -> save_bytes"));
 }
