@@ -3,8 +3,9 @@
 //! ```text
 //! figures <command> [--seed N] [--intervals N] [--workload wikipedia|vod]
 //!         [--scenario NAME] [--policy NAME] [--summary] [--out DIR]
-//!         [--jobs J] [--full] [--alloc] [--hours N] [--mem-gate]
-//!         [--spans-golden] [--init] [--note TEXT] [FIXTURE...]
+//!         [--jobs J] [--shards N] [--full] [--alloc] [--hours N]
+//!         [--mem-gate] [--spans-golden] [--init] [--note TEXT]
+//!         [FIXTURE...]
 //!
 //! commands:
 //!   fig3        workload traces (Fig. 3a/3b)
@@ -47,7 +48,16 @@
 //!               hours, default 24) with a per-hour wall-clock series;
 //!               --mem-gate exits non-zero if the process peak RSS
 //!               exceeds the recorded bound (BENCH_runner.json is
-//!               still written first)
+//!               still written first); --shards N runs the per-scenario
+//!               entries with N arrival shards (byte-identical report,
+//!               wall clock only)
+//!   shard       sharded-runner invariance gate: replay every trace
+//!               scenario at every shard count on the doubling ladder
+//!               1..=--shards (default 4), prove the RunnerReport JSON
+//!               byte-identical at every count (non-zero exit
+//!               otherwise), print the byte-stable per-scenario digest
+//!               lines, and write BENCH_shard.json (per-shard-count
+//!               wall clock, nproc, speedup — quarantined) to --out DIR
 //!   profile     self-profile the workspace's own hot paths: sweep
 //!               grid at --jobs 1 and --jobs J plus a full-stack
 //!               runner phase (--scenario, default revocation_storm)
@@ -74,7 +84,7 @@
 //!               manifest history (--note records why). Refuses to run
 //!               while any *other* fixture disagrees with the manifest
 //!   all         everything above (except trace/report/sweep/
-//!               tournament/perf/lint/bless)
+//!               tournament/perf/shard/lint/bless)
 //! ```
 //!
 //! `--jobs` is accepted by every subcommand so wrapper scripts can
@@ -113,6 +123,9 @@ struct Args {
     /// Worker threads for `sweep`; accepted (and currently a no-op) on
     /// the serial subcommands so scripts can pass it uniformly.
     jobs: usize,
+    /// Arrival shards: `shard` uses it as the ladder maximum (default
+    /// 4), `perf` as the per-scenario shard count (default 1).
+    shards: Option<usize>,
     /// `perf`/`profile`: also run the day-scale 20 krps stress entry.
     full: bool,
     /// `profile` only: request allocation accounting (requires a
@@ -150,6 +163,7 @@ fn parse_args() -> Result<Args, String> {
         summary: false,
         out: None,
         jobs: 1,
+        shards: None,
         full: false,
         alloc: false,
         hours: 24,
@@ -219,6 +233,17 @@ fn parse_args() -> Result<Args, String> {
                 if out.jobs == 0 {
                     return Err("--jobs must be at least 1".into());
                 }
+            }
+            "--shards" => {
+                let shards: usize = args
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                out.shards = Some(shards);
             }
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
             fixture => out.fixtures.push(fixture.to_string()),
@@ -538,12 +563,24 @@ fn run(args: &Args) -> Result<(), String> {
             let path = dir.join("BENCH_sweep.json");
             std::fs::write(&path, &output.bench_json)
                 .map_err(|e| format!("write {}: {e}", path.display()))?;
-            eprintln!(
-                "sweep: digests match at --jobs {} vs --jobs 1; speedup {:.2}x; wrote {}",
-                args.jobs,
-                output.speedup,
-                path.display()
-            );
+            if output.nproc == 1 {
+                // A 1-core host timeshares the "parallel" pass against
+                // itself; quoting a speedup there would be noise
+                // dressed up as a verdict.
+                eprintln!(
+                    "sweep: digests match at --jobs {} vs --jobs 1; wrote {} \
+                     (nproc is 1: wall-clock speedup is not meaningful on this host)",
+                    args.jobs,
+                    path.display()
+                );
+            } else {
+                eprintln!(
+                    "sweep: digests match at --jobs {} vs --jobs 1; speedup {:.2}x; wrote {}",
+                    args.jobs,
+                    output.speedup,
+                    path.display()
+                );
+            }
         }
         "tournament" => {
             use spotweb_bench::tournament;
@@ -579,7 +616,14 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "perf" => {
             use spotweb_bench::perf;
-            let output = perf::run_command(seed, args.full, args.hours, args.mem_gate)?;
+            let shards = args.shards.unwrap_or(1);
+            let output = perf::run_command(seed, args.full, args.hours, args.mem_gate, shards)?;
+            if shards > 1 && output.nproc == 1 {
+                eprintln!(
+                    "perf: --shards {shards} on a 1-core host (nproc 1): the report stays \
+                     byte-identical but no wall-clock speedup is measurable here"
+                );
+            }
             // Deterministic per-scenario summaries on stdout;
             // wall-clock on stderr + BENCH_runner.json only.
             print!("{}", output.summary_lines);
@@ -604,6 +648,42 @@ fn run(args: &Args) -> Result<(), String> {
             // failing run still leaves BENCH_runner.json to inspect.
             if let Some(violation) = output.mem_gate_violation {
                 return Err(violation);
+            }
+        }
+        "shard" => {
+            use spotweb_bench::shard;
+            let max_shards = args.shards.unwrap_or(4);
+            let output = shard::run_command(seed, max_shards)?;
+            // Deterministic per-scenario digest lines on stdout;
+            // wall-clock on stderr + BENCH_shard.json only.
+            print!("{}", output.summary_lines);
+            let dir = std::path::Path::new(args.out.as_deref().unwrap_or("."));
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+            let path = dir.join("BENCH_shard.json");
+            std::fs::write(&path, &output.bench_json)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            if !output.all_match {
+                // The record is on disk first, so a failing run leaves
+                // the mismatching digests to inspect.
+                return Err(format!(
+                    "sharded runs diverged from --shards 1 bytes (determinism \
+                     contract violated); see {}",
+                    path.display()
+                ));
+            }
+            if output.nproc == 1 {
+                eprintln!(
+                    "shard: byte-identical up to --shards {max_shards}; wrote {} \
+                     (nproc is 1: wall-clock speedup is not measurable on this host)",
+                    path.display()
+                );
+            } else {
+                eprintln!(
+                    "shard: byte-identical up to --shards {max_shards}; speedup {:.2}x \
+                     at the ladder top; wrote {}",
+                    output.speedup_at_max,
+                    path.display()
+                );
             }
         }
         "profile" => {
@@ -704,6 +784,7 @@ fn run(args: &Args) -> Result<(), String> {
                     summary: args.summary,
                     out: None,
                     jobs: args.jobs,
+                    shards: None,
                     full: false,
                     alloc: false,
                     hours: 24,
@@ -726,7 +807,7 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|tournament|perf|profile|lint|bless|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--policy NAME] [--summary] [--out DIR] [--jobs J] [--full] [--alloc] [--hours N] [--mem-gate] [--spans-golden] [--init] [--note TEXT] [FIXTURE...]");
+            eprintln!("error: {e}\nusage: figures <fig3|fig4a|fig4bcd|fig5|fig6a|fig6b|fig7a|fig7b|ablations|discussion|chaos|trace|report|sweep|tournament|perf|shard|profile|lint|bless|all> [--seed N] [--intervals N] [--workload wikipedia|vod] [--scenario NAME] [--policy NAME] [--summary] [--out DIR] [--jobs J] [--shards N] [--full] [--alloc] [--hours N] [--mem-gate] [--spans-golden] [--init] [--note TEXT] [FIXTURE...]");
             return ExitCode::from(2);
         }
     };

@@ -19,6 +19,7 @@
 //! | [`sweep`] | `figures sweep` — deterministic parallel policy × scenario × seed grid + `BENCH_sweep.json` |
 //! | [`tournament`] | `figures tournament` — policy-zoo leaderboard over the full grid + `BENCH_tournament.json` |
 //! | [`perf`] | `figures perf` — request-level simulator throughput record + `BENCH_runner.json` |
+//! | [`shard`] | `figures shard` — sharded-runner byte-equality gate + `BENCH_shard.json` |
 //! | [`profile`] | `figures profile` — self-profiling span trees + `BENCH_profile.json` / `flamegraph.folded` |
 //! | [`bless`] | `figures bless` — audited golden regeneration against `tests/golden/MANIFEST.json` |
 
@@ -35,6 +36,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod perf;
 pub mod profile;
+pub mod shard;
 pub mod sweep;
 pub mod telem;
 pub mod tournament;

@@ -19,6 +19,12 @@
 //! `BENCH_runner.json` layout:
 //!
 //! * `seed` — seed every entry ran with.
+//! * `nproc` — host parallelism ([`spotweb_sim::nproc`]); on a 1-core
+//!   box `--shards` cannot show a wall-clock win, so consumers must
+//!   check this before reading the throughput columns.
+//! * `shards` — arrival shards the per-scenario entries ran with
+//!   (`--shards N`; the report bytes are shard-count-invariant, only
+//!   the wall clock moves).
 //! * `scenarios[]` — per scenario: offered `rps`, `simulated_secs`,
 //!   deterministic `arrivals`/`summary`, `wall_secs`, and
 //!   `requests_per_wall_second`.
@@ -125,36 +131,45 @@ impl PerfRun {
 /// Replay `scenario` through the full stack with the reactive policy
 /// at `rps` offered load for `intervals × interval_secs` simulated
 /// seconds, timing the run. Telemetry is enabled — the interned
-/// counter path is part of what this harness measures.
+/// counter path is part of what this harness measures. `shards` is
+/// the arrival shard count (`RunnerConfig::shards`); the report is
+/// byte-identical at any value, only the wall clock moves.
 pub fn run_one(
     scenario: &str,
     seed: u64,
     rps: f64,
     interval_secs: f64,
     intervals: usize,
+    shards: usize,
 ) -> Result<PerfRun, String> {
-    run_one_inner(scenario, seed, rps, interval_secs, intervals, false)
+    run_one_inner(scenario, seed, rps, interval_secs, intervals, shards, false)
 }
 
 /// [`run_one`] at one-hour intervals for `hours` simulated hours,
 /// recording the wall-clock cost of every simulated hour through the
 /// runner's interval-observation hook (the hook is host-side only —
-/// the simulated run is byte-identical to an unobserved one).
+/// the simulated run is byte-identical to an unobserved one). Always
+/// runs at one shard: a pre-generated hour of 20 krps arrivals is
+/// ~1.1 GiB per pipeline slot, which would trade the mem gate for a
+/// wall-clock win; the lazy single-shard arrival path is what the
+/// gate certifies.
 pub fn run_one_hourly(
     scenario: &str,
     seed: u64,
     rps: f64,
     hours: usize,
 ) -> Result<PerfRun, String> {
-    run_one_inner(scenario, seed, rps, 3600.0, hours, true)
+    run_one_inner(scenario, seed, rps, 3600.0, hours, 1, true)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one_inner(
     scenario: &str,
     seed: u64,
     rps: f64,
     interval_secs: f64,
     intervals: usize,
+    shards: usize,
     hourly: bool,
 ) -> Result<PerfRun, String> {
     let name = normalize_scenario(scenario);
@@ -169,6 +184,7 @@ fn run_one_inner(
         interval_secs,
         intervals,
         seed,
+        shards,
         faults: Some(setup.plan),
         telemetry: sink.clone(),
         lb: spotweb_lb::LoadBalancerConfig {
@@ -249,6 +265,8 @@ pub struct PerfOutput {
     pub aggregate_rps: f64,
     /// Process peak RSS after the runs, bytes (`None` off-Linux).
     pub peak_rss_bytes: Option<u64>,
+    /// Host parallelism recorded in the bench file.
+    pub nproc: usize,
     /// `Some(diagnostic)` when `--mem-gate` was requested and the peak
     /// RSS exceeded (or could not be measured against)
     /// [`MEM_GATE_BYTES`]; the caller turns this into a non-zero exit
@@ -290,23 +308,25 @@ fn render_entry(r: &PerfRun) -> String {
 }
 
 /// Execute the perf command: measure every trace scenario at
-/// [`PERF_RPS`], optionally (`full`) the `hours`-long 20 krps stress
-/// point (24 = day scale, 168 = week scale), and render both the
-/// stdout body and `BENCH_runner.json`. With `mem_gate`, check the
-/// process peak RSS against [`MEM_GATE_BYTES`] and report a violation
-/// for the caller to turn into a non-zero exit.
+/// [`PERF_RPS`] with `shards` arrival shards, optionally (`full`) the
+/// `hours`-long 20 krps stress point (24 = day scale, 168 = week
+/// scale), and render both the stdout body and `BENCH_runner.json`.
+/// With `mem_gate`, check the process peak RSS against
+/// [`MEM_GATE_BYTES`] and report a violation for the caller to turn
+/// into a non-zero exit.
 pub fn run_command(
     seed: u64,
     full: bool,
     hours: usize,
     mem_gate: bool,
+    shards: usize,
 ) -> Result<PerfOutput, String> {
     // Same horizon shape as the sweep grid: four 5-minute intervals —
     // one revocation storm lands mid-run — but at PERF_RPS the arrival
     // loop processes ~2.4 M requests per entry.
     let mut runs = Vec::with_capacity(TRACE_SCENARIOS.len());
     for scenario in TRACE_SCENARIOS {
-        runs.push(run_one(scenario, seed, PERF_RPS, 300.0, 4)?);
+        runs.push(run_one(scenario, seed, PERF_RPS, 300.0, 4, shards)?);
     }
     let day_scale = if full {
         // `hours` simulated hours of 20 krps: the paper-scale stress
@@ -357,8 +377,10 @@ pub fn run_command(
         Some(b) => b.to_string(),
         None => "null".to_string(),
     };
+    let host_nproc = spotweb_sim::nproc();
     let bench_json = format!(
-        "{{\n  \"seed\": {seed},\n  \"scenarios\": [{entries}\n  ],\n  \
+        "{{\n  \"seed\": {seed},\n  \"nproc\": {host_nproc},\n  \
+         \"shards\": {shards},\n  \"scenarios\": [{entries}\n  ],\n  \
          \"aggregate_requests_per_wall_second\": {},\n  \
          \"digest\": {},\n  \"day_scale\": {day_json},\n  \
          \"peak_rss_bytes\": {rss_json},\n  \
@@ -388,6 +410,7 @@ pub fn run_command(
         bench_json,
         aggregate_rps,
         peak_rss_bytes: peak_rss,
+        nproc: host_nproc,
         mem_gate_violation,
     })
 }
@@ -398,16 +421,20 @@ mod tests {
 
     #[test]
     fn perf_entry_is_deterministic_apart_from_wall_clock() {
-        let a = run_one("zero-warning", 7, 200.0, 60.0, 2).unwrap();
-        let b = run_one("zero_warning", 7, 200.0, 60.0, 2).unwrap();
+        let a = run_one("zero-warning", 7, 200.0, 60.0, 2, 1).unwrap();
+        let b = run_one("zero_warning", 7, 200.0, 60.0, 2, 1).unwrap();
         assert_eq!(a.summary.to_json(), b.summary.to_json());
         assert_eq!(a.arrivals, b.arrivals);
         assert!(a.arrivals > 0);
+        // Shards move the wall clock, never the simulated run.
+        let sharded = run_one("zero-warning", 7, 200.0, 60.0, 2, 4).unwrap();
+        assert_eq!(a.summary.to_json(), sharded.summary.to_json());
+        assert_eq!(a.arrivals, sharded.arrivals);
     }
 
     #[test]
     fn unknown_scenario_is_a_helpful_error() {
-        let err = run_one("kernel-panic", 7, 200.0, 60.0, 1).unwrap_err();
+        let err = run_one("kernel-panic", 7, 200.0, 60.0, 1, 1).unwrap_err();
         assert!(err.contains("known:"), "{err}");
     }
 
@@ -418,7 +445,7 @@ mod tests {
         let hour_sum: u64 = run.per_hour.iter().map(|h| h.arrivals).sum();
         assert_eq!(hour_sum, run.arrivals, "hours must partition the arrivals");
         // The observation hook must not perturb the simulated run.
-        let unobserved = run_one("zero-warning", 7, 5.0, 3600.0, 2).unwrap();
+        let unobserved = run_one("zero-warning", 7, 5.0, 3600.0, 2, 1).unwrap();
         assert_eq!(run.summary.to_json(), unobserved.summary.to_json());
         assert!(unobserved.per_hour.is_empty());
     }

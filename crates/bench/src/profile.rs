@@ -159,7 +159,14 @@ pub fn runner_phase(scenario: &str, seed: u64) -> Result<ProfilePhase, String> {
     check_scenario(&name)?;
     let mut result: Option<Result<PerfRun, String>> = None;
     let phase = ProfilePhase::run("runner_short", 1, || {
-        let r = perf_run_one(&name, seed, PERF_RPS, SHORT_INTERVAL_SECS, SHORT_INTERVALS);
+        let r = perf_run_one(
+            &name,
+            seed,
+            PERF_RPS,
+            SHORT_INTERVAL_SECS,
+            SHORT_INTERVALS,
+            1,
+        );
         let arrivals = r.as_ref().map(|p| p.arrivals).unwrap_or(0);
         result = Some(r);
         arrivals
@@ -239,7 +246,7 @@ pub fn run_command(
         let scen = runner_scenario.clone();
         let mut err: Option<String> = None;
         let phase = ProfilePhase::run(&name, 1, || {
-            match perf_run_one(&scen, seed, DAY_SCALE_RPS, 3600.0, hours) {
+            match perf_run_one(&scen, seed, DAY_SCALE_RPS, 3600.0, hours, 1) {
                 Ok(p) => p.arrivals,
                 Err(e) => {
                     err = Some(e);

@@ -16,6 +16,9 @@
 //! deterministic):
 //!
 //! * `jobs` — worker count of the parallel pass.
+//! * `nproc` — host parallelism ([`spotweb_sim::nproc`]); on a 1-core
+//!   box the `speedup` column cannot exceed ~1.0, so consumers (and
+//!   the CLI verdict) must check this before reading it.
 //! * `runs[]` — per run: `label`, deterministic `summary`, and
 //!   `wall_secs` from the parallel pass.
 //! * `serial_wall_secs` / `parallel_wall_secs` / `speedup` — grid
@@ -256,6 +259,8 @@ pub struct SweepOutput {
     pub digests_match: bool,
     /// Speedup of the parallel pass over the serial pass.
     pub speedup: f64,
+    /// Host parallelism recorded in the bench file.
+    pub nproc: usize,
 }
 
 /// Execute the sweep command: run the grid serially, run it again at
@@ -304,8 +309,9 @@ pub fn run_command(jobs: usize, scenario: Option<&str>, seed: u64) -> Result<Swe
             r.summary.to_json(),
         ));
     }
+    let host_nproc = spotweb_sim::nproc();
     let bench_json = format!(
-        "{{\n  \"jobs\": {jobs},\n  \"runs\": [{runs_json}\n  ],\n  \
+        "{{\n  \"jobs\": {jobs},\n  \"nproc\": {host_nproc},\n  \"runs\": [{runs_json}\n  ],\n  \
          \"serial_wall_secs\": {},\n  \"parallel_wall_secs\": {},\n  \
          \"speedup\": {},\n  \"digest_serial\": {},\n  \
          \"digest_parallel\": {},\n  \"digests_match\": {digests_match},\n  \
@@ -330,6 +336,7 @@ pub fn run_command(jobs: usize, scenario: Option<&str>, seed: u64) -> Result<Swe
         bench_json,
         digests_match,
         speedup,
+        nproc: host_nproc,
     })
 }
 

@@ -43,6 +43,12 @@ pub struct LintConfig {
     /// Everything else regenerates fixtures through `figures bless`,
     /// which bumps epochs and records digests in the manifest.
     pub golden_writers: Vec<String>,
+    /// Shard-parallel arrival-path modules: stateful sequential RNGs
+    /// (`ChaCha8Rng`) are banned here even when seeded, because their
+    /// draws depend on draw *order* and the sharded runner replays the
+    /// same windows in any order across cores. The counter streams in
+    /// `sim::rng` are the only sanctioned generator (ISSUE 10).
+    pub shard_parallel: Vec<String>,
 }
 
 impl LintConfig {
@@ -65,6 +71,10 @@ impl LintConfig {
                 // Runner throughput harness: wall_secs per scenario,
                 // rendered only into the quarantined BENCH_runner.json.
                 "bench::perf".to_string(),
+                // Shard invariance harness: per-shard-count wall_secs,
+                // rendered only into the quarantined BENCH_shard.json
+                // (the digests it gates are byte-stable).
+                "bench::shard".to_string(),
                 // Tournament: serial/parallel pass wall-clock, rendered
                 // only into the quarantined BENCH_tournament.json (the
                 // leaderboard itself is a pure function of summaries).
@@ -95,6 +105,9 @@ impl LintConfig {
                 // Span-structure golden JSON + BENCH_profile.json /
                 // flamegraph.folded renderers.
                 "bench::profile".to_string(),
+                // RunnerReport JSON + FNV digest renderer — the bytes
+                // the shard invariance gate compares.
+                "sim::shard".to_string(),
             ],
             telemetry_crate: "telemetry".to_string(),
             hot_paths: vec![
@@ -127,6 +140,14 @@ impl LintConfig {
                 // to rewrite golden fixtures (tests may write their
                 // own scratch copies).
                 "bench::bless".to_string(),
+            ],
+            shard_parallel: vec![
+                // The sharded arrival path: per-interval windows are
+                // generated concurrently, so every draw must be a pure
+                // function of (seed, stream, counter).
+                "sim::runner".to_string(),
+                "sim::shard".to_string(),
+                "sim::rng".to_string(),
             ],
         }
     }

@@ -48,7 +48,7 @@ pub const RULES: [RuleInfo; 13] = [
     },
     RuleInfo {
         id: "seeded-rng-only",
-        summary: "no thread_rng/from_entropy/OsRng/getrandom/RandomState; every RNG derives from the run seed",
+        summary: "no thread_rng/from_entropy/OsRng/getrandom/RandomState; every RNG derives from the run seed. In shard-parallel modules stateful sequential RNGs (ChaCha8Rng) are banned even when seeded — draws depend on order; use the sim::rng counter streams",
         allowlistable: true,
     },
     RuleInfo {
@@ -196,6 +196,11 @@ const RNG_IDENTS: [&str; 5] = [
     "getrandom",
     "RandomState",
 ];
+/// Seeded but *stateful sequential* generators: fine in serial code,
+/// banned in `LintConfig::shard_parallel` modules where draws must be
+/// a pure function of (seed, stream, counter) so shard count cannot
+/// change the byte output (ISSUE 10).
+const STATEFUL_RNG_IDENTS: [&str; 1] = ["ChaCha8Rng"];
 const TELEMETRY_METHODS: [&str; 8] = [
     "count",
     "counter",
@@ -277,13 +282,20 @@ fn rule_ordered_serialization(file: &SourceFile, cfg: &LintConfig, out: &mut Vec
     }
 }
 
-fn rule_seeded_rng(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Finding>) {
+fn rule_seeded_rng(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
     if file.target == Target::Other {
         return;
     }
+    let shard_parallel = cfg
+        .shard_parallel
+        .iter()
+        .any(|m| module_matches(&file.module_path, m));
     for i in file.code_indices() {
         let t = file.tokens[i];
-        if t.kind == TokenKind::Ident && RNG_IDENTS.contains(&file.text(i)) {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if RNG_IDENTS.contains(&file.text(i)) {
             out.push(Finding {
                 rule: "seeded-rng-only".to_string(),
                 file: file.path.clone(),
@@ -292,6 +304,21 @@ fn rule_seeded_rng(file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Finding>)
                     "`{}` draws OS entropy; every RNG must be seeded from the run seed \
                      (SeedableRng::seed_from_u64 or a derived stream) so runs replay",
                     file.text(i)
+                ),
+            });
+        } else if shard_parallel && !file.in_test[i] && STATEFUL_RNG_IDENTS.contains(&file.text(i))
+        {
+            out.push(Finding {
+                rule: "seeded-rng-only".to_string(),
+                file: file.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` is a stateful sequential RNG in shard-parallel module `{}`: its \
+                     draws depend on draw order, so shard count would change the bytes; \
+                     use the counter streams in `sim::rng` (sample/CounterStream), the \
+                     only sanctioned generator on this path",
+                    file.text(i),
+                    file.module_path
                 ),
             });
         }
@@ -649,6 +676,10 @@ fn rule_determinism_taint(
             .wall_clock_quarantine
             .iter()
             .any(|q| module_matches(&file.module_path, q));
+        let shard_parallel = cfg
+            .shard_parallel
+            .iter()
+            .any(|m| module_matches(&file.module_path, m));
         for i in file.code_indices() {
             let t = file.tokens[i];
             if t.kind != TokenKind::Ident || file.in_test[i] {
@@ -656,7 +687,10 @@ fn rule_determinism_taint(
             }
             let text = file.text(i);
             let is_wall = WALL_CLOCK_IDENTS.contains(&text);
-            let is_rng = RNG_IDENTS.contains(&text);
+            // Stateful sequential RNGs taint only the shard-parallel
+            // arrival path: elsewhere a seeded ChaCha8Rng replays fine.
+            let is_rng = RNG_IDENTS.contains(&text)
+                || (shard_parallel && STATEFUL_RNG_IDENTS.contains(&text));
             if !is_wall && !is_rng {
                 continue;
             }
@@ -984,6 +1018,7 @@ mod tests {
             // cross-file rules stay quiet in the per-file tests above.
             taint_protected: vec!["det".to_string()],
             golden_writers: vec!["det::blessed".to_string()],
+            shard_parallel: vec!["app::arrivals".to_string()],
         }
     }
 
@@ -1059,6 +1094,41 @@ mod tests {
             "use std::collections::hash_map::RandomState;\n",
         );
         assert_eq!(rules_of(&r), ["seeded-rng-only"]);
+    }
+
+    #[test]
+    fn stateful_rng_flagged_only_in_shard_parallel_modules() {
+        // Seeded, so the entropy rule stays quiet — but in a
+        // shard-parallel module the *statefulness* is the violation.
+        let src = "use rand_chacha::ChaCha8Rng;\n\
+                   fn f(seed: u64) { let _ = ChaCha8Rng::seed_from_u64(seed); }\n";
+        let r = lint_one("crates/app/src/arrivals.rs", src);
+        assert_eq!(rules_of(&r), ["seeded-rng-only", "seeded-rng-only"]);
+        assert!(
+            r.findings[0].message.contains("stateful sequential RNG")
+                && r.findings[0].message.contains("sim::rng"),
+            "{}",
+            r.findings[0].message
+        );
+        // Outside the registry a seeded ChaCha8Rng replays fine.
+        let r = lint_one("crates/app/src/lib.rs", src);
+        assert!(r.is_clean(), "{:?}", r.findings);
+        // Test code in shard-parallel modules may use it (e.g. as a
+        // reference generator in property tests).
+        let test_src = "#[cfg(test)]\nmod tests {\n    use rand_chacha::ChaCha8Rng;\n}\n";
+        let r = lint_one("crates/app/src/arrivals.rs", test_src);
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn stateful_rng_is_suppressible_with_a_reason() {
+        let src = "use rand_chacha::ChaCha8Rng;\n\
+                   // spotweb-lint: allow(seeded-rng-only) -- serial-only helper, never sharded\n\
+                   fn f(seed: u64) { let _ = ChaCha8Rng::seed_from_u64(seed); }\n";
+        let r = lint_one("crates/app/src/arrivals.rs", src);
+        // Line 1's `use` still fires; the pragma covers line 3.
+        assert_eq!(rules_of(&r), ["seeded-rng-only"]);
+        assert_eq!(r.findings[0].line, 1);
     }
 
     #[test]

@@ -18,16 +18,13 @@
 //! (`arrived = served + dropped + in-flight`), no request is ever
 //! routed to a `Down` backend, and drain deadlines are honored.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
 use spotweb_lb::{BackendState, LoadBalancer, LoadBalancerConfig, RouteOutcome};
 use spotweb_telemetry::json::{json_f64, json_string};
 use spotweb_telemetry::{names, TelemetrySink, TraceEvent};
 
 use crate::engine::{Event, EventQueue};
 use crate::metrics::{BucketStats, LatencyRecorder};
+use crate::rng::{stream_id, CounterStream, DOMAIN_FAULT_COIN, DOMAIN_SCENARIO_GAP};
 use crate::scenario::ServerSpec;
 use crate::service::ServiceModel;
 
@@ -147,9 +144,11 @@ impl FaultPlan {
     /// Expand the plan into a deterministic timeline over
     /// `[0, duration_secs)`: timed faults verbatim, plus one resolved
     /// coin toss per window for each probabilistic fault, all drawn
-    /// from a dedicated ChaCha8 stream of `seed`. The result is sorted
-    /// by firing time (stable — ties keep declaration order), so the
-    /// same `(plan, seed, duration)` always yields the same failures.
+    /// from dedicated counter-RNG streams of `seed` (one stream per
+    /// probabilistic fault, counter = firing-window ordinal — see
+    /// `crate::rng`). The result is sorted by firing time (stable —
+    /// ties keep declaration order), so the same
+    /// `(plan, seed, duration)` always yields the same failures.
     pub fn compile(&self, seed: u64, duration_secs: f64) -> Vec<FaultSpec> {
         let mut timeline: Vec<FaultSpec> = self
             .timed
@@ -157,19 +156,21 @@ impl FaultPlan {
             .filter(|f| f.at_secs < duration_secs)
             .cloned()
             .collect();
-        // Dedicated sub-stream: the fault coins never perturb the
-        // arrival process RNG (same seed, different stream).
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA17_5EED_0C4A_05FE);
-        for rf in &self.random {
+        // Dedicated sub-streams: the fault coins never perturb the
+        // arrival process draws (same seed, disjoint stream domain).
+        for (rf_index, rf) in self.random.iter().enumerate() {
+            let coins = CounterStream::new(seed, stream_id(DOMAIN_FAULT_COIN, rf_index as u64));
             let mut t = rf.every_secs;
+            let mut window: u64 = 0;
             while t < duration_secs {
-                if rng.gen::<f64>() < rf.probability {
+                if coins.unit_f64_at(window) < rf.probability {
                     timeline.push(FaultSpec {
                         at_secs: t,
                         kind: rf.kind.clone(),
                     });
                 }
                 t += rf.every_secs;
+                window += 1;
             }
         }
         timeline.sort_by(|a, b| {
@@ -548,7 +549,9 @@ impl ChaosScenario {
         assert!(self.arrival_rps > 0.0 && self.duration_secs > 0.0);
 
         let timeline = self.plan.compile(self.seed, self.duration_secs);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        // Counter-based gaps: gap `k` belongs to request `k`, so the
+        // arrival process is draw-order-free (see `crate::rng`).
+        let gaps = CounterStream::new(self.seed, stream_id(DOMAIN_SCENARIO_GAP, 0));
         let sink = self.telemetry.clone();
         let mut lb = LoadBalancer::new(LoadBalancerConfig {
             transiency_aware: self.transiency_aware,
@@ -584,7 +587,7 @@ impl ChaosScenario {
         let mut extra_startup = 0.0;
         let mut extra_warmup = 0.0;
 
-        let first = exp_sample(&mut rng, self.arrival_rps);
+        let first = gaps.exp_at(0, self.arrival_rps);
         queue.schedule(
             first,
             Event::Arrival {
@@ -624,7 +627,7 @@ impl ChaosScenario {
                     }
                     checker.check_tick(&lb, now);
                     if request + 1 == next_request {
-                        let t_next = now + exp_sample(&mut rng, self.arrival_rps);
+                        let t_next = now + gaps.exp_at(next_request, self.arrival_rps);
                         if t_next <= self.duration_secs {
                             let session = next_request % self.sessions;
                             queue.schedule(
@@ -990,12 +993,6 @@ impl ChaosReport {
         out.push_str("  ]\n}");
         out
     }
-}
-
-/// Exponential inter-arrival sample.
-fn exp_sample<R: Rng>(rng: &mut R, rate: f64) -> f64 {
-    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    -u.ln() / rate
 }
 
 #[cfg(test)]

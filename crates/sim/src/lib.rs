@@ -32,6 +32,16 @@
 //!   `std::thread::scope` workers with byte-identical output at any
 //!   jobs count (seed-per-run, stable collection order, no shared
 //!   state — see the module docs for the determinism contract).
+//! * [`rng`] — the counter-based, draw-order-free generator
+//!   (`sample(seed, stream, counter)`): the only sanctioned RNG in
+//!   shard-parallel paths, because a stateful sequential stream would
+//!   force the arrival loop to stay serial.
+//! * [`shard`] — sharded execution of a single run
+//!   ([`runner::RunnerConfig::shards`]): per-interval arrival
+//!   generation fans out across cores and latency metrics fold in
+//!   window order, with reports byte-identical at any shard count;
+//!   also the canonical [`shard::report_json`] / [`shard::report_digest`]
+//!   renderings that invariance proofs compare.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -40,9 +50,11 @@ pub mod calendar;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
+pub mod rng;
 pub mod runner;
 pub mod scenario;
 pub mod service;
+pub mod shard;
 pub mod sweep;
 
 pub use calendar::CalendarQueue;
@@ -57,5 +69,6 @@ pub use runner::{
 };
 pub use scenario::{FailoverReport, FailoverScenario};
 pub use service::ServiceModel;
+pub use shard::{nproc, report_digest, report_json};
 pub use spotweb_telemetry::{TelemetrySink, TraceEvent};
 pub use sweep::{parallel_map, run_sweep, RunSummary, SweepResult};

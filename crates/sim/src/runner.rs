@@ -36,21 +36,28 @@
 //! * **Interned counters** — per-request counters use
 //!   [`CounterHandle`]s resolved once per run instead of string-keyed
 //!   registry lookups per event.
-
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+//!
+//! Arrivals are drawn from the counter-based, draw-order-free
+//! [`crate::rng`] generator, keyed per decision interval — which is
+//! what lets [`RunnerConfig::shards`] split one run's arrival
+//! generation and metrics fold across cores with byte-identical
+//! output at any shard count (see [`crate::shard`] for the pipeline
+//! and the invariance argument).
 
 use spotweb_lb::{BackendState, LoadBalancer, LoadBalancerConfig, MonitorWindow, RouteOutcome};
 use spotweb_market::billing::{BillingLedger, BillingModel, CostMeter};
 use spotweb_market::CloudSim;
-use spotweb_telemetry::{names, prof, CounterHandle, HistogramHandle, TelemetrySink, TraceEvent};
+use spotweb_telemetry::{names, prof, CounterHandle, TelemetrySink, TraceEvent};
 use spotweb_workload::Trace;
 
 use crate::calendar::CalendarQueue;
 use crate::faults::{FaultKind, FaultPlan, InvariantChecker};
 use crate::metrics::LatencyRecorder;
 use crate::service::ServiceModel;
+use crate::shard::{
+    ArrivalPipeline, ArrivalSupply, DeferredObs, DirectObs, FoldWorker, InlineArrivals, ObsSink,
+    PipelineArrivals, WindowArrivals, WindowSpec,
+};
 
 /// Abstraction over `spotweb-core`'s policies so this crate does not
 /// depend on the optimizer: given current observations, return the
@@ -94,6 +101,14 @@ pub struct RunnerConfig {
     pub max_lifetime_secs: Option<f64>,
     /// RNG seed (arrivals and revocation sampling share sub-streams).
     pub seed: u64,
+    /// Shard count for the run's arrival generation and metrics fold.
+    /// `1` (the default) runs fully inline on the calling thread with
+    /// lazy arrival generation (no batches materialize — required for
+    /// day-scale memory). `K > 1` pre-generates per-interval arrival
+    /// batches on `min(K, nproc)` workers and folds latency metrics on
+    /// a dedicated thread; the report is byte-identical at any value
+    /// (see [`crate::shard`]).
+    pub shards: usize,
     /// Optional fault plan (chaos testing). Compiled deterministically
     /// from `seed` at run start. Interval-scoped faults — price
     /// shocks, correlated revocations, startup/warmup stalls — apply
@@ -124,6 +139,7 @@ impl Default for RunnerConfig {
             sessions: 2000,
             max_lifetime_secs: None,
             seed: 42,
+            shards: 1,
             faults: None,
             telemetry: TelemetrySink::disabled(),
         }
@@ -196,8 +212,58 @@ pub fn run_full_stack_observed(
     // prof session is active; distinct from the sim-clock trace spans
     // emitted through `sink` below).
     prof::scope!(names::SPAN_RUNNER_RUN);
+    let horizon = config.interval_secs * config.intervals as f64;
+    let recorder = LatencyRecorder::new(config.interval_secs, horizon);
+    let latency_hist = config
+        .telemetry
+        .histogram_handle(names::REQUEST_LATENCY_SECONDS);
+    if config.shards <= 1 {
+        // Inline mode: arrivals generate lazily on this thread (no
+        // batch ever materializes — day-scale windows are tens of
+        // millions of arrivals) and metrics apply immediately.
+        let supply = InlineArrivals {
+            seed: config.seed,
+            sessions: config.sessions,
+        };
+        let obs = DirectObs::new(recorder, latency_hist);
+        run_loop(policy, cloud, trace, config, on_interval, supply, obs)
+    } else {
+        // Sharded mode: per-interval window specs are fixed up front
+        // (the same boundary rate samples the inline path takes), gen
+        // workers pre-compute arrival batches, and the fold thread
+        // applies metrics in window order.
+        let specs: Vec<WindowSpec> = (0..config.intervals)
+            .map(|i| {
+                let t0 = i as f64 * config.interval_secs;
+                WindowSpec {
+                    t0,
+                    t_end: t0 + config.interval_secs,
+                    rate: trace.rate_at(t0).max(1e-6),
+                }
+            })
+            .collect();
+        let pipeline = ArrivalPipeline::spawn(config.seed, config.sessions, specs, config.shards);
+        let supply = PipelineArrivals::new(pipeline);
+        let obs = DeferredObs::new(FoldWorker::spawn(recorder, latency_hist));
+        run_loop(policy, cloud, trace, config, on_interval, supply, obs)
+    }
+}
+
+/// The control loop, generic over the arrival supply and the metrics
+/// sink. The two instantiations — inline/direct at `shards = 1`,
+/// pipeline/deferred at `shards > 1` — execute the same counter-RNG
+/// draws, the same routing sequence, and the same metrics fold order,
+/// so their reports are byte-identical by construction.
+fn run_loop<S: ArrivalSupply, O: ObsSink>(
+    policy: &mut dyn FleetPolicy,
+    cloud: &mut CloudSim,
+    trace: &Trace,
+    config: &RunnerConfig,
+    on_interval: &mut dyn FnMut(usize, u64),
+    mut arrivals: S,
+    mut obs: O,
+) -> RunnerReport {
     let n_markets = cloud.catalog().len();
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let sink = config.telemetry.clone();
     let mut lb = LoadBalancer::new(config.lb.clone());
     lb.set_telemetry(sink.clone());
@@ -209,7 +275,6 @@ pub fn run_full_stack_observed(
     // Backends per market currently alive (ids into lb).
     let mut alive: Vec<Vec<usize>> = vec![Vec::new(); n_markets];
     let horizon = config.interval_secs * config.intervals as f64;
-    let mut recorder = LatencyRecorder::new(config.interval_secs, horizon);
     // Chaos: the plan compiles once, up front, from the run seed.
     let timeline = config
         .faults
@@ -249,22 +314,20 @@ pub fn run_full_stack_observed(
     // hot loop (see spotweb_telemetry::CounterHandle).
     let served_counter = sink.counter_handle(names::REQUESTS_SERVED_TOTAL);
     let killed_counter = sink.counter_handle(names::REQUESTS_KILLED_IN_FLIGHT_TOTAL);
-    let latency_hist = sink.histogram_handle(names::REQUEST_LATENCY_SECONDS);
     // Application-level monitoring (§5.2): the policy sees the arrival
     // rate the balancer *measured*, not the generator's ground truth.
     let mut monitor = MonitorWindow::new(config.interval_secs);
     #[allow(clippy::too_many_arguments)]
-    fn drain_completions(
+    fn drain_completions<O: ObsSink>(
         upto: f64,
         completions: &mut CalendarQueue,
         lb: &mut LoadBalancer,
         last_death: &[Option<f64>],
-        recorder: &mut LatencyRecorder,
+        obs: &mut O,
         monitor: &mut MonitorWindow,
         checker: &mut InvariantChecker,
         served_counter: &CounterHandle,
         killed_counter: &CounterHandle,
-        latency_hist: &HistogramHandle,
     ) {
         while let Some(done) = completions.peek_done() {
             if done > upto {
@@ -275,18 +338,17 @@ pub fn run_full_stack_observed(
                 // The server died while this request was in flight (a
                 // later restore does not save it).
                 Some(d) if d < done && d >= arrived => {
-                    recorder.record_drop(arrived);
+                    obs.dropped(arrived);
                     monitor.record_dropped(arrived);
                     checker.on_dropped_in_flight();
                     killed_counter.inc();
                 }
                 _ => {
-                    recorder.record(arrived, done - arrived);
+                    obs.served(arrived, done - arrived);
                     monitor.record_served(arrived, done - arrived);
                     lb.complete(b, None);
                     checker.on_served();
                     served_counter.inc();
-                    latency_hist.observe(done - arrived);
                 }
             }
         }
@@ -596,11 +658,15 @@ pub fn run_full_stack_observed(
         //
         // Arrivals follow the *true* trace rate (the generator is the
         // outside world; only the policy sees measurements); the rate
-        // is constant within the interval, so it is sampled once.
+        // is constant within the interval, so it is sampled once. The
+        // supply yields the interval's arrivals in time order — the
+        // identical counter-RNG walk whether generated lazily here
+        // (`shards = 1`) or pre-computed by the gen pool.
         drop(prof_control);
         let rate = trace.rate_at(t0).max(1e-6);
-        let mut now = t0 + exp_sample(&mut rng, rate);
-        while now < t_end {
+        let mut window = arrivals.window(interval, WindowSpec { t0, t_end, rate });
+        let mut next_arrival = window.next();
+        while next_arrival.is_some() {
             // Earliest pending control timepoint in this interval.
             let mut next_control = t_end;
             for &(deadline, _) in &pending_deaths {
@@ -621,20 +687,21 @@ pub fn run_full_stack_observed(
             // closes the span before the control-timepoint work below.
             {
                 prof::scope!(names::SPAN_RUNNER_ARRIVAL_LOOP);
-                while now < t_end && now < next_control {
+                while let Some((now, session)) = next_arrival {
+                    if now >= next_control {
+                        break;
+                    }
                     drain_completions(
                         now,
                         &mut completions,
                         &mut lb,
                         &last_death,
-                        &mut recorder,
+                        &mut obs,
                         &mut monitor,
                         &mut checker,
                         &served_counter,
                         &killed_counter,
-                        &latency_hist,
                     );
-                    let session = rng.gen_range(0..config.sessions);
                     checker.on_arrival();
                     match lb.route(Some(session), now) {
                         RouteOutcome::Routed(b) => {
@@ -644,16 +711,16 @@ pub fn run_full_stack_observed(
                         }
                         RouteOutcome::Dropped => {
                             checker.on_dropped_at_admission();
-                            recorder.record_drop(now);
+                            obs.dropped(now);
                             monitor.record_dropped(now);
                         }
                     }
-                    now += exp_sample(&mut rng, rate);
+                    next_arrival = window.next();
                 }
             }
-            if now >= t_end {
+            let Some((now, _)) = next_arrival else {
                 break;
-            }
+            };
 
             // Control timepoint crossed by the next arrival: fire
             // everything due, in the order the per-arrival scans
@@ -731,12 +798,11 @@ pub fn run_full_stack_observed(
             &mut completions,
             &mut lb,
             &last_death,
-            &mut recorder,
+            &mut obs,
             &mut monitor,
             &mut checker,
             &served_counter,
             &killed_counter,
-            &latency_hist,
         );
         // Whatever still runs past the interval end resolves at the top
         // of the next interval (or here if the run is over).
@@ -746,15 +812,17 @@ pub fn run_full_stack_observed(
                 &mut completions,
                 &mut lb,
                 &last_death,
-                &mut recorder,
+                &mut obs,
                 &mut monitor,
                 &mut checker,
                 &served_counter,
                 &killed_counter,
-                &latency_hist,
             );
         }
         drop(prof_drain);
+        // Flush this window's buffered observations to the fold (a
+        // no-op in inline mode).
+        obs.end_window(interval);
 
         // Bill every backend that existed during any part of the
         // interval — including draining/decommissioned servers still
@@ -778,7 +846,7 @@ pub fn run_full_stack_observed(
         if sink.is_enabled() {
             prof::scope!(names::SPAN_RUNNER_ROLLUP);
             let rates = monitor.rates(t_end);
-            let stats = recorder.bucket_stats(interval);
+            let stats = obs.bucket_stats(interval);
             sink.gauge(names::FLEET_SIZE, fleet_sizes[interval] as f64);
             sink.emit_at(
                 t_end,
@@ -800,6 +868,7 @@ pub fn run_full_stack_observed(
     }
 
     checker.check_drained();
+    let recorder = obs.finish();
     let (served, dropped) = recorder.totals();
     RunnerReport {
         served,
@@ -853,11 +922,6 @@ impl FleetPolicy for ReactiveCheapestPolicy {
         fleet[best] = ((observed_rps * self.headroom) / self.capacities[best]).ceil() as u32;
         fleet
     }
-}
-
-fn exp_sample<R: Rng>(rng: &mut R, rate: f64) -> f64 {
-    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    -u.ln() / rate
 }
 
 /// Expose backend states for assertions in tests.
@@ -997,6 +1061,42 @@ mod tests {
             (a.served, a.dropped, a.cost.to_bits()),
             (b.served, b.dropped, b.cost.to_bits())
         );
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical() {
+        // The invariance contract in miniature (tests/shard.rs proves
+        // it across all scenarios × seeds): the full canonical report
+        // rendering must not depend on the shard count, including with
+        // faults in play and telemetry enabled.
+        use crate::faults::{FaultKind, FaultPlan};
+        let catalog = Catalog::fig4_testbed();
+        let plan = FaultPlan::new().at(
+            700.0,
+            FaultKind::CorrelatedRevocation {
+                markets: (0..catalog.len()).collect(),
+                warning_secs: Some(30.0),
+            },
+        );
+        let run = |shards: usize| {
+            let config = RunnerConfig {
+                intervals: 4,
+                seed: 1234,
+                shards,
+                faults: Some(plan.clone()),
+                telemetry: TelemetrySink::enabled(),
+                ..RunnerConfig::default()
+            };
+            let mut cloud = CloudSim::new(catalog.clone(), 7, 100);
+            cloud.warm_up(8);
+            let trace = flat_trace(250.0, &config);
+            let mut p = policy(&catalog);
+            let r = run_full_stack(&mut p, &mut cloud, &trace, &config);
+            crate::shard::report_json(&r)
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4), "shards 4 must match shards 1");
+        assert_eq!(serial, run(3), "shards 3 must match shards 1");
     }
 
     #[test]

@@ -9,14 +9,11 @@
 //! routing to the doomed servers and loses everything in flight when
 //! they die.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
 use spotweb_lb::{LoadBalancer, LoadBalancerConfig, RouteOutcome};
 
 use crate::engine::{Event, EventQueue};
 use crate::metrics::{BucketStats, LatencyRecorder};
+use crate::rng::{stream_id, CounterStream, DOMAIN_SCENARIO_GAP};
 use crate::service::ServiceModel;
 
 /// One server in the initial cluster.
@@ -134,7 +131,10 @@ impl FailoverScenario {
         assert!(!self.servers.is_empty(), "need at least one server");
         assert!(self.arrival_rps > 0.0 && self.duration_secs > 0.0);
 
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        // Counter-based gaps (draw-order-free): gap `k` belongs to
+        // request `k`, so the arrival process is a pure function of
+        // the seed — see `crate::rng`.
+        let gaps = CounterStream::new(self.seed, stream_id(DOMAIN_SCENARIO_GAP, 0));
         let mut lb = LoadBalancer::new(LoadBalancerConfig {
             transiency_aware: self.transiency_aware,
             admission_control: true,
@@ -157,7 +157,7 @@ impl FailoverScenario {
         let mut lost: u64 = 0;
 
         // Seed the arrival stream.
-        let first = exp_sample(&mut rng, self.arrival_rps);
+        let first = gaps.exp_at(0, self.arrival_rps);
         queue.schedule(
             first,
             Event::Arrival {
@@ -208,7 +208,7 @@ impl FailoverScenario {
                     // Self-scheduling generator: only the newest arrival
                     // spawns the next one.
                     if request + 1 == next_request {
-                        let t_next = now + exp_sample(&mut rng, self.arrival_rps);
+                        let t_next = now + gaps.exp_at(next_request, self.arrival_rps);
                         if t_next <= self.duration_secs {
                             let session = next_request % self.sessions;
                             queue.schedule(
@@ -324,12 +324,6 @@ impl FailoverScenario {
         death_time.push(None);
         queue.schedule(now + self.startup_secs, Event::ServerReady { backend: id });
     }
-}
-
-/// Exponential inter-arrival sample.
-fn exp_sample<R: Rng>(rng: &mut R, rate: f64) -> f64 {
-    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    -u.ln() / rate
 }
 
 #[cfg(test)]

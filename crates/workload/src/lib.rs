@@ -16,13 +16,16 @@
 //!
 //! Support modules: [`trace`] (the time-series container), [`spikes`]
 //! (flash-crowd injection), [`stats`] (summary statistics used by
-//! EXPERIMENTS.md), and [`io`] (CSV round-tripping so traces can be
-//! exported for external plotting).
+//! EXPERIMENTS.md), [`io`] (CSV round-tripping so traces can be
+//! exported for external plotting), and [`rng`] (the counter-based,
+//! draw-order-free generator behind every randomized draw in this
+//! crate and the simulator's sharded arrival loop).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod io;
+pub mod rng;
 pub mod spikes;
 pub mod stats;
 pub mod trace;

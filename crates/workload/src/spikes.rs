@@ -1,10 +1,10 @@
 //! Flash-crowd spike machinery shared by the VoD generator and the
 //! failure-injection tests.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
+use crate::rng::{
+    stream_id, CounterStream, DOMAIN_SPIKE_HALF, DOMAIN_SPIKE_MAG, DOMAIN_SPIKE_OCCUR,
+    DOMAIN_SPIKE_RAMP,
+};
 use crate::trace::Trace;
 
 /// Description of one injected spike.
@@ -61,15 +61,22 @@ pub fn random_spikes(
     seed: u64,
 ) -> Vec<Spike> {
     assert!(min_mag <= max_mag);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // One counter stream per field, all keyed by the sample index, so
+    // any sample's spike (or absence) is a pure function of the seed
+    // — see `crate::rng`.
+    let occur = CounterStream::new(seed, stream_id(DOMAIN_SPIKE_OCCUR, 0));
+    let mag = CounterStream::new(seed, stream_id(DOMAIN_SPIKE_MAG, 0));
+    let ramp = CounterStream::new(seed, stream_id(DOMAIN_SPIKE_RAMP, 0));
+    let half = CounterStream::new(seed, stream_id(DOMAIN_SPIKE_HALF, 0));
     let mut out = Vec::new();
     for start in 0..len {
-        if rng.gen::<f64>() < rate_per_sample {
+        let c = start as u64;
+        if occur.unit_f64_at(c) < rate_per_sample {
             out.push(Spike {
                 start,
-                magnitude: rng.gen_range(min_mag..=max_mag),
-                ramp: rng.gen_range(1..=2),
-                half_life: rng.gen_range(1.0..4.0),
+                magnitude: min_mag + mag.unit_f64_at(c) * (max_mag - min_mag),
+                ramp: 1 + ramp.range_at(c, 2) as usize,
+                half_life: 1.0 + half.unit_f64_at(c) * 3.0,
             });
         }
     }

@@ -11,10 +11,7 @@
 //! * small multiplicative AR(1) noise,
 //! * (rarely) a mild news-event bump.
 
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
+use crate::rng::{stream_id, CounterStream, DOMAIN_BUMP, DOMAIN_NOISE};
 use crate::trace::Trace;
 
 /// Parameters of the Wikipedia-like generator.
@@ -57,7 +54,10 @@ pub fn wikipedia_like(hours: usize, seed: u64) -> Trace {
 
 /// Generate with explicit parameters.
 pub fn wikipedia_with(hours: usize, seed: u64, p: &WikipediaParams) -> Trace {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Counter-based draws keyed by hour: the AR(1) recursion is still
+    // sequential, but the underlying draws are order-free (`crate::rng`).
+    let noise_draws = CounterStream::new(seed, stream_id(DOMAIN_NOISE, 0));
+    let bump_draws = CounterStream::new(seed, stream_id(DOMAIN_BUMP, 0));
     let mut noise = 0.0_f64;
     let mut bump = 0.0_f64; // decaying news-event bump
     let mut values = Vec::with_capacity(hours);
@@ -80,10 +80,10 @@ pub fn wikipedia_with(hours: usize, seed: u64, p: &WikipediaParams) -> Trace {
             1.0
         };
         // AR(1) multiplicative noise.
-        let eps: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let eps: f64 = noise_draws.unit_f64_at(h as u64) * 2.0 - 1.0;
         noise = p.noise_phi * noise + p.noise_sd * eps;
         // Rare mild bump (news event), +20%, decaying over ~6 h.
-        if rng.gen::<f64>() < p.bump_prob {
+        if bump_draws.unit_f64_at(h as u64) < p.bump_prob {
             bump = 0.2;
         }
         bump *= 0.85;

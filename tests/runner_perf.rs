@@ -97,8 +97,8 @@ fn chaos_reports_match_pre_fastpath_golden() {
 #[test]
 fn week_scale_smoke_run_stays_sane() {
     let rps = 2.0;
-    let run =
-        perf::run_one("revocation-storm", DEFAULT_SEED, rps, 3600.0, 168).expect("known scenario");
+    let run = perf::run_one("revocation-storm", DEFAULT_SEED, rps, 3600.0, 168, 1)
+        .expect("known scenario");
     assert_eq!(run.simulated_secs, 604_800.0, "one simulated week");
     assert_eq!(
         run.arrivals,
@@ -124,8 +124,8 @@ fn week_scale_smoke_run_stays_sane() {
 /// same summary bytes and the same digest (wall clock aside).
 #[test]
 fn perf_entries_are_deterministic_across_runs() {
-    let a = perf::run_one("backend-flaps", 99, 400.0, 120.0, 3).expect("known scenario");
-    let b = perf::run_one("backend-flaps", 99, 400.0, 120.0, 3).expect("known scenario");
+    let a = perf::run_one("backend-flaps", 99, 400.0, 120.0, 3, 1).expect("known scenario");
+    let b = perf::run_one("backend-flaps", 99, 400.0, 120.0, 3, 1).expect("known scenario");
     assert_eq!(a.summary.to_json(), b.summary.to_json());
     assert_eq!(a.arrivals, b.arrivals);
     assert_eq!(

@@ -71,13 +71,14 @@ fn tournament_grid_is_byte_identical_at_jobs_1_and_4() {
 /// Seed-swept cross-policy regression (ISSUE 6): routing the MPO and
 /// reactive baselines through the policy factory must not move a
 /// single byte of the sweep grid. The constants are the full-grid
-/// digests recorded before the factory landed.
+/// digests recorded when the counter-based arrival RNG landed
+/// (ISSUE 10) — any later refactor must reproduce them exactly.
 #[test]
 fn mpo_and_reactive_sweep_digests_survive_the_factory_refactor() {
     const GOLDEN_DIGESTS: &[(u64, &str)] = &[
-        (1234, "b43931080ed0b5dd"),
-        (7, "f88d031a241c95df"),
-        (99, "e95bcbab0b49256e"),
+        (1234, "dd89cc681eefa2fa"),
+        (7, "0cbc211b0b46d267"),
+        (99, "96cda72316c02a98"),
     ];
     for &(seed, expected) in GOLDEN_DIGESTS {
         let specs = build_grid(None, seed).expect("full grid builds");
